@@ -1,0 +1,52 @@
+// E4 — diagnosis wall time (Proposition 1 / practicality): time per engine
+// as the observation length and the number of peers grow. google-benchmark
+// over random telecom-style nets with observations from real runs.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "diagnosis/diagnoser.h"
+
+using namespace dqsq;
+using diagnosis::DiagnosisEngine;
+
+namespace {
+
+void BM_Diagnose(benchmark::State& state) {
+  const auto engine = static_cast<DiagnosisEngine>(state.range(0));
+  const int peers = static_cast<int>(state.range(1));
+  const int run_len = static_cast<int>(state.range(2));
+  auto w = bench::MakeDiagnosisWorkload(/*seed=*/7, peers, run_len);
+  size_t explanations = 0, events = 0;
+  for (auto _ : state) {
+    diagnosis::DiagnosisOptions opts;
+    opts.engine = engine;
+    auto result = Diagnose(w.net, w.observation, opts);
+    DQSQ_CHECK_OK(result.status());
+    explanations = result->explanations.size();
+    events = result->trans_facts;
+    benchmark::DoNotOptimize(result->explanations);
+  }
+  state.counters["explanations"] = static_cast<double>(explanations);
+  state.counters["events_materialized"] = static_cast<double>(events);
+  state.SetLabel(EngineName(engine) + "/peers=" + std::to_string(peers) +
+                 "/run=" + std::to_string(run_len));
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (DiagnosisEngine engine :
+       {DiagnosisEngine::kReference, DiagnosisEngine::kBfhj,
+        DiagnosisEngine::kCentralQsq, DiagnosisEngine::kCentralMagic,
+        DiagnosisEngine::kDistQsq}) {
+    for (int peers : {2, 3}) {
+      for (int run_len : {2, 4, 6}) {
+        b->Args({static_cast<int>(engine), peers, run_len});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_Diagnose)->Apply(Args)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// E2 — centralized query evaluation (§3.1): tuples materialized and wall
+// time for naive / semi-naive / magic / QSQ on bound-argument chain
+// queries, where demand-driven evaluation touches only the reachable
+// suffix. google-benchmark; counters report derived facts.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datalog/engine.h"
+#include "tests/test_util.h"
+
+using namespace dqsq;
+
+namespace {
+
+void BM_ChainQuery(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Strategy strategy = static_cast<Strategy>(state.range(1));
+  const std::string program_text = bench::ChainProgram(n);
+  // Bind the start near the end of the chain: the demanded fragment is a
+  // constant-size suffix while bottom-up derives all O(n^2) path facts.
+  const std::string query_text =
+      "path(v" + std::to_string(n - 5) + ", Y)";
+  size_t derived = 0, answers = 0;
+  for (auto _ : state) {
+    DatalogContext ctx;
+    auto program = ParseProgram(program_text, ctx);
+    auto query = ParseQuery(query_text, ctx);
+    Database db(&ctx);
+    auto result =
+        SolveQuery(*program, db, *query, strategy, EvalOptions{});
+    DQSQ_CHECK_OK(result.status());
+    derived = result->derived_facts;
+    answers = result->answers.size();
+    benchmark::DoNotOptimize(result->answers);
+  }
+  state.counters["derived_facts"] = static_cast<double>(derived);
+  state.counters["answers"] = static_cast<double>(answers);
+  state.SetLabel(StrategyName(strategy));
+}
+
+void ChainArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {50, 100, 200}) {
+    for (Strategy s : {Strategy::kNaive, Strategy::kSemiNaive,
+                       Strategy::kMagic, Strategy::kQsq}) {
+      b->Args({n, static_cast<int>(s)});
+    }
+  }
+}
+
+BENCHMARK(BM_ChainQuery)->Apply(ChainArgs)->Unit(benchmark::kMicrosecond);
+
+// Same-generation query: the classical recursive benchmark where magic/QSQ
+// prune by binding propagation.
+void BM_SameGeneration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Strategy strategy = static_cast<Strategy>(state.range(1));
+  std::string program;
+  // A balanced binary "up" tree of depth ~log2(n) with flat/down edges.
+  for (int i = 1; i < n; ++i) {
+    program += "up(n" + std::to_string(i) + ", n" + std::to_string(i / 2) +
+               ").\n";
+    program += "down(n" + std::to_string(i / 2) + ", m" + std::to_string(i) +
+               ").\n";
+  }
+  program += "flat(n0, n0).\n";
+  program += "sg(X, Y) :- flat(X, Y).\n";
+  program += "sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).\n";
+  const std::string query_text = "sg(n" + std::to_string(n - 1) + ", Y)";
+  size_t derived = 0;
+  for (auto _ : state) {
+    DatalogContext ctx;
+    auto prog = ParseProgram(program, ctx);
+    auto query = ParseQuery(query_text, ctx);
+    Database db(&ctx);
+    auto result = SolveQuery(*prog, db, *query, strategy, EvalOptions{});
+    DQSQ_CHECK_OK(result.status());
+    derived = result->derived_facts;
+    benchmark::DoNotOptimize(result->answers);
+  }
+  state.counters["derived_facts"] = static_cast<double>(derived);
+  state.SetLabel(StrategyName(strategy));
+}
+
+void SgArgs(benchmark::internal::Benchmark* b) {
+  for (int n : {64, 256}) {
+    for (Strategy s :
+         {Strategy::kSemiNaive, Strategy::kMagic, Strategy::kQsq}) {
+      b->Args({n, static_cast<int>(s)});
+    }
+  }
+}
+
+BENCHMARK(BM_SameGeneration)->Apply(SgArgs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

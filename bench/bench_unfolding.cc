@@ -1,0 +1,93 @@
+// E5 — substrate throughput: the possible-extensions unfolder (events/s)
+// and the alarm-product construction that everything else sits on.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "petri/bfhj.h"
+#include "petri/examples.h"
+#include "petri/unfolding.h"
+
+using namespace dqsq;
+
+namespace {
+
+void BM_UnfoldRandomNet(benchmark::State& state) {
+  const int max_events = static_cast<int>(state.range(0));
+  Rng rng(11);
+  petri::RandomNetOptions ropts;
+  ropts.num_peers = 3;
+  ropts.places_per_peer = 4;
+  ropts.transitions_per_peer = 5;
+  ropts.sync_probability = 0.35;
+  petri::PetriNet net = petri::MakeRandomNet(ropts, rng);
+  size_t events = 0;
+  for (auto _ : state) {
+    petri::UnfoldOptions opts;
+    opts.max_events = static_cast<size_t>(max_events);
+    auto u = petri::Unfolding::Build(net, opts);
+    DQSQ_CHECK_OK(u.status());
+    events = u->num_events();
+    benchmark::DoNotOptimize(u->num_events());
+  }
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_UnfoldRandomNet)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CompletePrefixWithCutoffs(benchmark::State& state) {
+  Rng rng(13);
+  petri::RandomNetOptions ropts;
+  ropts.num_peers = static_cast<uint32_t>(state.range(0));
+  ropts.places_per_peer = 3;
+  ropts.transitions_per_peer = 3;
+  ropts.sync_probability = 0.3;
+  petri::PetriNet net = petri::MakeRandomNet(ropts, rng);
+  size_t events = 0;
+  for (auto _ : state) {
+    petri::UnfoldOptions opts;
+    opts.max_events = 50000;
+    opts.use_cutoffs = true;
+    auto u = petri::Unfolding::Build(net, opts);
+    DQSQ_CHECK_OK(u.status());
+    events = u->num_events();
+    benchmark::DoNotOptimize(u->complete());
+  }
+  state.counters["prefix_events"] = static_cast<double>(events);
+}
+
+BENCHMARK(BM_CompletePrefixWithCutoffs)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AlarmProductBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  petri::PetriNet net = petri::MakePaperNet(/*with_loop=*/true);
+  Rng rng(17);
+  auto run = petri::GenerateRun(net, n, rng);
+  DQSQ_CHECK_OK(run.status());
+  for (auto _ : state) {
+    auto product = petri::BuildAlarmProduct(net, run->observation);
+    DQSQ_CHECK_OK(product.status());
+    benchmark::DoNotOptimize(product->product.num_transitions());
+  }
+  state.counters["alarms"] = static_cast<double>(run->observation.size());
+}
+
+BENCHMARK(BM_AlarmProductBuild)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

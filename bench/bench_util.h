@@ -1,0 +1,80 @@
+// Shared workload builders for the experiment benchmarks (see DESIGN.md §3
+// for the experiment index E1..E7).
+#ifndef DQSQ_BENCH_BENCH_UTIL_H_
+#define DQSQ_BENCH_BENCH_UTIL_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "petri/alarm.h"
+#include "petri/random_net.h"
+
+namespace dqsq::bench {
+
+/// edge/path chain program: N edges, two path rules (the Figure 3 / E2
+/// workload shape).
+inline std::string ChainProgram(int n) {
+  std::string program;
+  for (int i = 0; i < n; ++i) {
+    program += "edge(v" + std::to_string(i) + ", v" + std::to_string(i + 1) +
+               ").\n";
+  }
+  program += "path(X, Y) :- edge(X, Y).\n";
+  program += "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  return program;
+}
+
+/// A distributed chain: `peers` peers each owning `per_peer` edges, with
+/// per-peer path rules and hop rules into the next peer (the E3 workload).
+inline std::string DistributedChainProgram(int peers, int per_peer) {
+  std::string program;
+  for (int p = 0; p < peers; ++p) {
+    for (int i = 0; i < per_peer; ++i) {
+      int from = p * per_peer + i;
+      program += "edge@peer" + std::to_string(p) + "(v" +
+                 std::to_string(from) + ", v" + std::to_string(from + 1) +
+                 ").\n";
+    }
+  }
+  for (int p = 0; p < peers; ++p) {
+    std::string self = "peer" + std::to_string(p);
+    program += "path@" + self + "(X, Y) :- edge@" + self + "(X, Y).\n";
+    program += "path@" + self + "(X, Y) :- edge@" + self + "(X, Z), path@" +
+               self + "(Z, Y).\n";
+    if (p + 1 < peers) {
+      std::string next = "peer" + std::to_string(p + 1);
+      program += "path@" + self + "(X, Y) :- edge@" + self +
+                 "(X, Z), path@" + next + "(Z, Y).\n";
+    }
+  }
+  return program;
+}
+
+struct DiagnosisWorkload {
+  petri::PetriNet net;
+  petri::AlarmSequence observation;
+};
+
+/// A random telecom-style net plus an observation generated from a real
+/// run of `run_len` firings (so at least one explanation exists).
+inline DiagnosisWorkload MakeDiagnosisWorkload(uint64_t seed, int peers,
+                                               int run_len,
+                                               double hidden = 0.0) {
+  Rng rng(seed);
+  petri::RandomNetOptions ropts;
+  ropts.num_peers = peers;
+  ropts.places_per_peer = 3;
+  ropts.transitions_per_peer = 3;
+  ropts.sync_probability = 0.35;
+  ropts.num_alarm_symbols = 2;
+  ropts.hidden_probability = hidden;
+  DiagnosisWorkload w{petri::MakeRandomNet(ropts, rng), {}};
+  auto run = petri::GenerateRun(w.net, run_len, rng);
+  DQSQ_CHECK_OK(run.status());
+  w.observation = run->observation;
+  return w;
+}
+
+}  // namespace dqsq::bench
+
+#endif  // DQSQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,52 @@
+// The paper's §3 in isolation: the Figure 3 dDatalog program evaluated
+// over three autonomous peers, first with distributed naive evaluation,
+// then with dQSQ — showing the same answers with far less shipping
+// (Theorem 1 + the optimization claim).
+#include <iostream>
+
+#include "dist/dnaive.h"
+#include "dist/dqsq.h"
+
+using namespace dqsq;
+
+int main() {
+  const char* kProgram = R"(
+    % Figure 3 (paper): relation r at peer r, s at peer s, t at peer t.
+    r@r(X, Y) :- a@r(X, Y).
+    r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+    s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+    t@t(X, Y) :- c@t(X, Y).
+    % Extensional data.
+    a@r("1", "2").  a@r("2", "3").  a@r("7", "8").
+    b@s("2", "5").  b@s("3", "6").
+    c@t("2", "4").  c@t("3", "9").
+  )";
+
+  for (bool use_qsq : {false, true}) {
+    DatalogContext ctx;
+    auto program = ParseProgram(kProgram, ctx);
+    DQSQ_CHECK_OK(program.status());
+    auto query = ParseQuery("r@r(\"1\", Y)", ctx);
+    DQSQ_CHECK_OK(query.status());
+
+    dist::DistOptions opts;
+    auto result = use_qsq
+                      ? dist::DistQsqSolve(ctx, *program, *query, opts)
+                      : dist::DistNaiveSolve(ctx, *program, *query, opts);
+    DQSQ_CHECK_OK(result.status());
+
+    std::cout << (use_qsq ? "dQSQ" : "distributed naive")
+              << ": query r@r(\"1\", Y) over " << result->num_peers
+              << " peers\n  answers:";
+    for (const Tuple& t : result->answers) {
+      std::cout << " " << ctx.arena().ToString(t[0], ctx.symbols());
+    }
+    std::cout << "\n  messages delivered: "
+              << result->net_stats.messages_delivered
+              << "\n  tuples shipped:     " << result->net_stats.tuples_shipped
+              << "\n  facts materialized: " << result->total_facts << "\n\n";
+  }
+  std::cout << "Both engines agree (Theorem 1); dQSQ ships only the\n"
+               "bindings and answers the query demands.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the paper's running example end to end.
+//
+// Builds the Figure 1 Petri net, shows its unfolding (Figure 2), and
+// diagnoses the alarm sequences discussed in §2 with every engine — the
+// dedicated BFHJ algorithm, the exhaustive reference, and the dDatalog
+// program evaluated bottom-up, with QSQ, and with distributed QSQ.
+#include <iostream>
+
+#include "diagnosis/diagnoser.h"
+#include "petri/examples.h"
+#include "petri/unfolding.h"
+
+using namespace dqsq;
+
+namespace {
+
+void DiagnoseAndPrint(const petri::PetriNet& net,
+                      const petri::AlarmSequence& alarms) {
+  std::cout << "--- observation " << petri::AlarmSequenceToString(alarms)
+            << "\n";
+  for (auto engine : {diagnosis::DiagnosisEngine::kReference,
+                      diagnosis::DiagnosisEngine::kBfhj,
+                      diagnosis::DiagnosisEngine::kCentralQsq,
+                      diagnosis::DiagnosisEngine::kDistQsq}) {
+    diagnosis::DiagnosisOptions opts;
+    opts.engine = engine;
+    auto result = diagnosis::Diagnose(net, alarms, opts);
+    if (!result.ok()) {
+      std::cout << "  " << diagnosis::EngineName(engine) << ": "
+                << result.status().ToString() << "\n";
+      continue;
+    }
+    std::cout << "  " << diagnosis::EngineName(engine) << ": "
+              << result->explanations.size() << " explanation(s)";
+    if (engine == diagnosis::DiagnosisEngine::kCentralQsq) {
+      std::cout << " [materialized " << result->trans_facts << " events, "
+                << result->places_facts << " conditions]";
+    }
+    std::cout << "\n";
+    for (const auto& e : result->explanations) {
+      for (const std::string& ev : e.events) std::cout << "      " << ev << "\n";
+      if (e.events.empty()) std::cout << "      (empty run)\n";
+      std::cout << "      --\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  petri::PetriNet net = petri::MakePaperNet();
+  std::cout << "The paper's Figure 1 net:\n" << net.ToString() << "\n";
+
+  auto unfolding = petri::Unfolding::Build(net, petri::UnfoldOptions{});
+  DQSQ_CHECK_OK(unfolding.status());
+  std::cout << "Its (finite) unfolding, cf. Figure 2:\n"
+            << unfolding->ToString() << "\n";
+
+  // §2: explained by the shaded configuration {i, ii, iii}.
+  DiagnoseAndPrint(net, petri::MakeAlarms({{"b", "p1"},
+                                           {"a", "p2"},
+                                           {"c", "p1"}}));
+  // Same configuration, different interleaving.
+  DiagnoseAndPrint(net, petri::MakeAlarms({{"b", "p1"},
+                                           {"c", "p1"},
+                                           {"a", "p2"}}));
+  // Contradicts p1's emission order: no explanation.
+  DiagnoseAndPrint(net, petri::MakeAlarms({{"c", "p1"},
+                                           {"b", "p1"},
+                                           {"a", "p2"}}));
+  return 0;
+}

@@ -1,0 +1,110 @@
+// A telecom-flavored scenario: a ring of network elements, each a local
+// state machine (ok -> degraded -> failed -> ok after repair), where
+// failures propagate to the downstream neighbor through a shared place.
+// The supervisor receives an asynchronously interleaved alarm sequence and
+// reconstructs what actually happened — including the causal chain of the
+// cascade, which no per-element log can show.
+#include <iostream>
+
+#include "common/rng.h"
+#include "diagnosis/diagnoser.h"
+#include "petri/alarm.h"
+#include "petri/builder.h"
+
+using namespace dqsq;
+
+namespace {
+
+petri::PetriNet MakeRing(int elements) {
+  petri::PetriNetBuilder b;
+  for (int e = 0; e < elements; ++e) {
+    std::string peer = "ne" + std::to_string(e);
+    b.AddPeer(peer);
+  }
+  for (int e = 0; e < elements; ++e) {
+    std::string peer = "ne" + std::to_string(e);
+    std::string id = std::to_string(e);
+    b.AddPlace("ok" + id, peer, /*marked=*/true);
+    b.AddPlace("degraded" + id, peer);
+    b.AddPlace("failed" + id, peer);
+    // A "stress token" the element emits toward its neighbor when it
+    // fails; consumed by the neighbor's degradation.
+    b.AddPlace("stress" + id, peer);
+    // One-shot fuse: each element can fail at most once per scenario,
+    // keeping the net safe (the stress place is 1-bounded).
+    b.AddPlace("fuse" + id, peer, /*marked=*/true);
+  }
+  for (int e = 0; e < elements; ++e) {
+    std::string peer = "ne" + std::to_string(e);
+    std::string id = std::to_string(e);
+    std::string next = std::to_string((e + 1) % elements);
+    // Spontaneous degradation.
+    b.AddTransition("degrade" + id, peer, "minor", {"ok" + id},
+                    {"degraded" + id});
+    // Degraded elements fail, stressing the downstream neighbor.
+    b.AddTransition("fail" + id, peer, "critical",
+                    {"degraded" + id, "fuse" + id},
+                    {"failed" + id, "stress" + id});
+    // The neighbor degrades under stress (cross-peer interaction).
+    b.AddTransition("cascade" + next, "ne" + next, "minor",
+                    {"ok" + next, "stress" + id}, {"degraded" + next});
+    // Repair.
+    b.AddTransition("repair" + id, peer, "clear", {"failed" + id},
+                    {"ok" + id});
+  }
+  auto net = b.Build();
+  DQSQ_CHECK_OK(net.status());
+  return *std::move(net);
+}
+
+}  // namespace
+
+int main() {
+  petri::PetriNet net = MakeRing(3);
+  std::cout << "Telecom ring (3 network elements):\n"
+            << net.ToString() << "\n";
+
+  // Ground truth: element 0 degrades and fails, the cascade degrades
+  // element 1.
+  Rng rng(2026);
+  auto run = petri::GenerateRun(net, 4, rng);
+  DQSQ_CHECK_OK(run.status());
+  std::cout << "Ground-truth run:";
+  for (auto t : run->firing_sequence) {
+    std::cout << " " << net.transition(t).name;
+  }
+  std::cout << "\nSupervisor observes: "
+            << petri::AlarmSequenceToString(run->observation) << "\n\n";
+
+  for (auto engine : {diagnosis::DiagnosisEngine::kCentralQsq,
+                      diagnosis::DiagnosisEngine::kBfhj,
+                      diagnosis::DiagnosisEngine::kDistQsq}) {
+    diagnosis::DiagnosisOptions opts;
+    opts.engine = engine;
+    auto result = diagnosis::Diagnose(net, run->observation, opts);
+    DQSQ_CHECK_OK(result.status());
+    std::cout << diagnosis::EngineName(engine) << ": "
+              << result->explanations.size() << " explanation(s)";
+    if (engine == diagnosis::DiagnosisEngine::kDistQsq) {
+      std::cout << " — " << result->messages << " messages, "
+                << result->tuples_shipped << " tuples shipped";
+    } else {
+      std::cout << " — materialized " << result->trans_facts << " events";
+    }
+    std::cout << "\n";
+    for (const auto& e : result->explanations) {
+      std::cout << "  candidate scenario:\n";
+      for (const std::string& ev : e.events) {
+        std::cout << "    " << ev << "\n";
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout
+      << "The engines agree on the candidate scenarios. Where several\n"
+         "remain, the observation is genuinely ambiguous: the Skolem\n"
+         "terms show whether element 0 degraded on its own or was\n"
+         "degraded by the cascade from its failed neighbor — causal\n"
+         "information no per-element log contains.\n";
+  return 0;
+}

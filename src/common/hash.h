@@ -1,0 +1,28 @@
+// Hash combinators used by the term arena and relation indices.
+#ifndef DQSQ_COMMON_HASH_H_
+#define DQSQ_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace dqsq {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a range of hashable elements.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (; first != last; ++first) {
+    HashCombine(seed, std::hash<typename std::iterator_traits<It>::value_type>{}(*first));
+  }
+  return seed;
+}
+
+}  // namespace dqsq
+
+#endif  // DQSQ_COMMON_HASH_H_

@@ -1,0 +1,55 @@
+// Deterministic pseudo-random number generator (splitmix64 core). Used by
+// the random-net generator, the alarm interleaver and the simulated network
+// scheduler so that every test and benchmark is reproducible from a seed.
+#ifndef DQSQ_COMMON_RNG_H_
+#define DQSQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dqsq {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index; container must be non-empty.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    DQSQ_CHECK(!items.empty());
+    return items[NextBelow(items.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dqsq
+
+#endif  // DQSQ_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+#include "common/symbol_table.h"
+
+#include "common/logging.h"
+
+namespace dqsq {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+const std::string& SymbolTable::Name(SymbolId id) const {
+  DQSQ_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+bool SymbolTable::Lookup(std::string_view name, SymbolId* id) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+}  // namespace dqsq

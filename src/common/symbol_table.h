@@ -1,0 +1,43 @@
+// String interning: maps strings to dense 32-bit ids and back. Predicate
+// names, peer names, constants and variable names are all interned so the
+// engine manipulates integers only.
+#ifndef DQSQ_COMMON_SYMBOL_TABLE_H_
+#define DQSQ_COMMON_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace dqsq {
+
+using SymbolId = uint32_t;
+
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Interns `name`, returning its id (existing id if already interned).
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the name for `id`. `id` must have been returned by Intern.
+  const std::string& Name(SymbolId id) const;
+
+  /// Returns true and sets `*id` if `name` was interned before.
+  bool Lookup(std::string_view name, SymbolId* id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  // deque: references to elements stay valid across push_back, so the
+  // string_view keys in index_ never dangle.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, SymbolId> index_;
+};
+
+}  // namespace dqsq
+
+#endif  // DQSQ_COMMON_SYMBOL_TABLE_H_

@@ -1,0 +1,56 @@
+// Binding patterns ("adornments", paper §3.1) and the left-to-right
+// sideways-information-passing pass that adorns a program for a query.
+// An argument position is bound (b) when every variable in it is already
+// bound, free (f) otherwise; constants are always bound. The adorned
+// program is the common input of the QSQ and magic-set rewritings.
+#ifndef DQSQ_DATALOG_ADORNMENT_H_
+#define DQSQ_DATALOG_ADORNMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace dqsq {
+
+using Adornment = std::vector<bool>;  // true = bound
+
+/// "bf" notation for an adornment.
+std::string AdornmentSuffix(const Adornment& adornment);
+
+/// Computes the adornment of `atom` given the currently bound variables.
+Adornment AdornAtom(const Atom& atom, const std::vector<bool>& bound_vars);
+
+/// One rule of the adorned program: the original rule plus the head
+/// adornment and, for each body atom, its adornment and IDB flag (EDB atoms
+/// are never adorned).
+struct AdornedRule {
+  const Rule* rule = nullptr;
+  size_t rule_index = 0;  // index into the source program
+  Adornment head_adornment;
+  std::vector<Adornment> body_adornments;
+  std::vector<bool> body_is_idb;
+};
+
+struct AdornedProgram {
+  std::vector<AdornedRule> rules;
+  /// All (relation, adornment) call patterns reachable from the query.
+  std::vector<std::pair<RelId, Adornment>> call_patterns;
+};
+
+/// Adorns `program` for a call to `query_rel` with `query_adornment`,
+/// exploring exactly the call patterns reachable from the query
+/// (left-to-right SIP). Fails if the query relation has no rules and is not
+/// extensional-only (callers treat pure-EDB queries directly).
+StatusOr<AdornedProgram> AdornProgram(const Program& program,
+                                      const RelId& query_rel,
+                                      const Adornment& query_adornment);
+
+/// The adornment induced by a query atom: positions with ground patterns
+/// are bound.
+Adornment QueryAdornment(const Atom& query);
+
+}  // namespace dqsq
+
+#endif  // DQSQ_DATALOG_ADORNMENT_H_

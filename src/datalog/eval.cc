@@ -1,0 +1,292 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace dqsq {
+
+namespace {
+
+// Evaluation of one program over one database. Semi-naive bookkeeping is
+// row-count based: each relation's rows appended during round r form the
+// delta consumed in round r+1.
+class Evaluator {
+ public:
+  Evaluator(const Program& program, Database& db, const EvalOptions& options)
+      : program_(program), db_(db), options_(options) {}
+
+  StatusOr<EvalStats> Run() {
+    // Stratified evaluation: rules of stratum 0, 1, ... to their own
+    // fixpoints in order, so every negated relation is complete before it
+    // is read. Positive programs form a single stratum.
+    DQSQ_ASSIGN_OR_RETURN(std::vector<uint32_t> strata,
+                          StratifyProgram(program_, db_.ctx()));
+    uint32_t max_stratum = 0;
+    for (uint32_t s : strata) max_stratum = std::max(max_stratum, s);
+    for (uint32_t stratum = 0; stratum <= max_stratum; ++stratum) {
+      Program layer;
+      for (size_t i = 0; i < program_.rules.size(); ++i) {
+        if (strata[i] == stratum) layer.rules.push_back(program_.rules[i]);
+      }
+      if (layer.rules.empty()) continue;
+      DQSQ_RETURN_IF_ERROR(RunLayer(layer));
+    }
+    return stats_;
+  }
+
+ private:
+  Status RunLayer(const Program& layer) {
+    // Snapshot maps: base = size at start of previous round (old rows),
+    // cur = size at start of this round. Delta = [base, cur).
+    snapshots_.clear();
+    for (size_t round = 0;; ++round) {
+      if (round >= options_.max_rounds) {
+        return ResourceExhaustedError("evaluation exceeded max_rounds");
+      }
+      ++stats_.rounds;
+      TakeSnapshot();
+      size_t before = stats_.facts_derived;
+      for (const Rule& rule : layer.rules) {
+        Status s = EvalRule(rule, round);
+        if (!s.ok()) return s;
+      }
+      if (stats_.facts_derived == before) break;  // fixpoint
+    }
+    return Status::Ok();
+  }
+
+  struct Snapshot {
+    size_t base = 0;  // rows before the previous round
+    size_t cur = 0;   // rows at the start of this round
+  };
+
+  void TakeSnapshot() {
+    for (auto& [rel, snap] : snapshots_) {
+      snap.base = snap.cur;
+      const Relation* r = db_.Find(rel);
+      snap.cur = r == nullptr ? 0 : r->size();
+    }
+    // Relations that appeared for the first time.
+    for (const RelId& rel : db_.Relations()) {
+      if (!snapshots_.contains(rel)) {
+        const Relation* r = db_.Find(rel);
+        snapshots_[rel] = Snapshot{0, r == nullptr ? 0 : r->size()};
+      }
+    }
+  }
+
+  Snapshot SnapshotFor(const RelId& rel) const {
+    auto it = snapshots_.find(rel);
+    return it == snapshots_.end() ? Snapshot{} : it->second;
+  }
+
+  Status EvalRule(const Rule& rule, size_t round) {
+    if (rule.body.empty()) {
+      // Facts (and rules whose body is only ground negations/diseqs) fire
+      // once, in round 0 of their stratum.
+      if (round > 0) return Status::Ok();
+      Substitution subst(rule.num_vars, kNoTerm);
+      if (!CheckDiseqs(rule, subst)) return Status::Ok();
+      if (!CheckNegatives(rule, subst)) return Status::Ok();
+      return EmitHead(rule, subst);
+    }
+    if (!options_.seminaive || round == 0) {
+      // Full join over the snapshot extents (round 0 seeds the deltas).
+      Substitution subst(rule.num_vars, kNoTerm);
+      std::vector<VarId> trail;
+      return JoinFrom(rule, 0, /*delta_pos=*/rule.body.size(), subst, trail);
+    }
+    // Semi-naive: one pass per body position that has a non-empty delta.
+    for (size_t d = 0; d < rule.body.size(); ++d) {
+      Snapshot snap = SnapshotFor(rule.body[d].rel);
+      if (snap.cur == snap.base) continue;
+      Substitution subst(rule.num_vars, kNoTerm);
+      std::vector<VarId> trail;
+      DQSQ_RETURN_IF_ERROR(JoinFrom(rule, 0, d, subst, trail));
+    }
+    return Status::Ok();
+  }
+
+  // Row range an atom at position `pos` may scan when the delta is placed at
+  // `delta_pos`: positions before the delta see only old rows, the delta
+  // position sees exactly the delta, later positions see everything up to
+  // the round snapshot. delta_pos == body.size() means "full snapshot scan".
+  std::pair<size_t, size_t> RangeFor(const Atom& atom, size_t pos,
+                                     size_t delta_pos) const {
+    Snapshot snap = SnapshotFor(atom.rel);
+    if (pos < delta_pos) return {0, snap.base};  // old rows only
+    if (pos == delta_pos) return {snap.base, snap.cur};
+    return {0, snap.cur};
+  }
+
+  Status JoinFrom(const Rule& rule, size_t pos, size_t delta_pos,
+                  Substitution& subst, std::vector<VarId>& trail) {
+    if (pos == rule.body.size()) {
+      if (!CheckDiseqs(rule, subst)) return Status::Ok();
+      if (!CheckNegatives(rule, subst)) return Status::Ok();
+      ++stats_.rule_firings;
+      return EmitHead(rule, subst);
+    }
+    const Atom& atom = rule.body[pos];
+    size_t lo, hi;
+    if (delta_pos == rule.body.size()) {
+      Snapshot snap = SnapshotFor(atom.rel);
+      lo = 0;
+      hi = snap.cur;
+    } else {
+      std::tie(lo, hi) = RangeFor(atom, pos, delta_pos);
+    }
+    if (lo >= hi) return Status::Ok();
+    Relation* rel = db_.FindMutable(atom.rel);
+    if (rel == nullptr) return Status::Ok();
+
+    // Columns whose pattern is fully ground under the current bindings can
+    // drive an index probe.
+    uint32_t mask = 0;
+    std::vector<TermId> key;
+    if (atom.args.size() <= 32) {
+      for (size_t c = 0; c < atom.args.size(); ++c) {
+        TermId t = TryGroundPattern(atom.args[c], subst, db_.ctx().arena());
+        if (t != kNoTerm) {
+          mask |= (1u << c);
+          key.push_back(t);
+        }
+      }
+    }
+
+    auto try_row = [&](uint32_t row) -> Status {
+      ++stats_.join_probes;
+      auto values = rel->Row(row);
+      size_t mark = trail.size();
+      bool ok = true;
+      for (size_t c = 0; c < atom.args.size(); ++c) {
+        if (!MatchPattern(atom.args[c], values[c], db_.ctx().arena(), subst,
+                          trail)) {
+          ok = false;
+          break;
+        }
+      }
+      Status s = Status::Ok();
+      if (ok) s = JoinFrom(rule, pos + 1, delta_pos, subst, trail);
+      UndoTrail(subst, trail, mark);
+      return s;
+    };
+
+    if (mask != 0) {
+      // Probe returns row ids over the whole relation; filter to the range.
+      // Copy: recursion may insert into this relation and grow the index
+      // bucket vector underneath us.
+      std::vector<uint32_t> rows = rel->Probe(mask, key);
+      for (uint32_t row : rows) {
+        if (row < lo || row >= hi) continue;
+        DQSQ_RETURN_IF_ERROR(try_row(row));
+      }
+    } else {
+      for (size_t row = lo; row < hi; ++row) {
+        DQSQ_RETURN_IF_ERROR(try_row(static_cast<uint32_t>(row)));
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Safe, stratified negation: the negated atom is ground here and its
+  // relation's stratum is already complete.
+  bool CheckNegatives(const Rule& rule, const Substitution& subst) {
+    for (const Atom& atom : rule.negative) {
+      std::vector<TermId> tuple;
+      tuple.reserve(atom.args.size());
+      for (const Pattern& p : atom.args) {
+        tuple.push_back(GroundPattern(p, subst, db_.ctx().arena()));
+      }
+      const Relation* rel = db_.Find(atom.rel);
+      if (rel != nullptr && rel->Contains(tuple)) return false;
+    }
+    return true;
+  }
+
+  bool CheckDiseqs(const Rule& rule, const Substitution& subst) {
+    for (const Diseq& d : rule.diseqs) {
+      TermId lhs = TryGroundPattern(d.lhs, subst, db_.ctx().arena());
+      TermId rhs = TryGroundPattern(d.rhs, subst, db_.ctx().arena());
+      DQSQ_DCHECK(lhs != kNoTerm && rhs != kNoTerm);
+      if (lhs == rhs) return false;
+    }
+    return true;
+  }
+
+  Status EmitHead(const Rule& rule, const Substitution& subst) {
+    std::vector<TermId> tuple;
+    tuple.reserve(rule.head.args.size());
+    for (const Pattern& p : rule.head.args) {
+      TermId t = GroundPattern(p, subst, db_.ctx().arena());
+      if (options_.max_term_depth > 0 &&
+          db_.ctx().arena().Depth(t) > options_.max_term_depth) {
+        if (options_.depth_policy == EvalOptions::DepthPolicy::kError) {
+          return ResourceExhaustedError("term depth budget exceeded");
+        }
+        ++stats_.depth_pruned;
+        return Status::Ok();
+      }
+      tuple.push_back(t);
+    }
+    if (db_.Insert(rule.head.rel, tuple)) {
+      ++stats_.facts_derived;
+      if (db_.TotalFacts() > options_.max_facts) {
+        return ResourceExhaustedError("evaluation exceeded max_facts");
+      }
+    }
+    return Status::Ok();
+  }
+
+  const Program& program_;
+  Database& db_;
+  const EvalOptions& options_;
+  EvalStats stats_;
+  std::unordered_map<RelId, Snapshot, RelIdHash> snapshots_;
+};
+
+}  // namespace
+
+StatusOr<EvalStats> Evaluate(const Program& program, Database& db,
+                             const EvalOptions& options) {
+  return Evaluator(program, db, options).Run();
+}
+
+std::vector<Tuple> Ask(Database& db, const Atom& query, uint32_t num_vars) {
+  std::vector<Tuple> out;
+  Relation* rel = db.FindMutable(query.rel);
+  if (rel == nullptr) return out;
+  std::vector<VarId> query_vars;
+  for (const Pattern& p : query.args) p.CollectVars(&query_vars);
+  std::sort(query_vars.begin(), query_vars.end());
+  query_vars.erase(std::unique(query_vars.begin(), query_vars.end()),
+                   query_vars.end());
+  Substitution subst(num_vars, kNoTerm);
+  std::vector<VarId> trail;
+  for (size_t row = 0; row < rel->size(); ++row) {
+    auto values = rel->Row(row);
+    size_t mark = trail.size();
+    bool ok = true;
+    for (size_t c = 0; c < query.args.size(); ++c) {
+      if (!MatchPattern(query.args[c], values[c], db.ctx().arena(), subst,
+                        trail)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      Tuple t;
+      t.reserve(query_vars.size());
+      for (VarId v : query_vars) t.push_back(subst[v]);
+      out.push_back(std::move(t));
+    }
+    UndoTrail(subst, trail, mark);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dqsq

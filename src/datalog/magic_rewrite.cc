@@ -1,0 +1,115 @@
+#include "datalog/magic_rewrite.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace dqsq {
+
+namespace {
+
+std::vector<Pattern> BoundArgPatterns(const Atom& atom,
+                                      const Adornment& adornment) {
+  std::vector<Pattern> out;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (adornment[i]) out.push_back(atom.args[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<RewriteResult> MagicRewrite(const AdornedProgram& adorned,
+                                     const RelId& query_rel,
+                                     const Adornment& query_adornment,
+                                     DatalogContext& ctx) {
+  RewriteResult result;
+  result.query_adornment = query_adornment;
+
+  auto magic_rel = [&](const RelId& rel, const Adornment& a) {
+    uint32_t bound =
+        static_cast<uint32_t>(std::count(a.begin(), a.end(), true));
+    PredicateId pred = ctx.InternPredicate(
+        "magic__" + ctx.PredicateName(rel.pred) + "__" + AdornmentSuffix(a),
+        bound);
+    return RelId{pred, rel.peer};
+  };
+  auto answer_rel = [&](const RelId& rel, const Adornment& a) {
+    PredicateId pred = ctx.InternPredicate(
+        AnswerPredName(ctx.PredicateName(rel.pred), a),
+        ctx.PredicateArity(rel.pred));
+    return RelId{pred, rel.peer};
+  };
+
+  result.answer_rel = answer_rel(query_rel, query_adornment);
+  result.input_rel = magic_rel(query_rel, query_adornment);
+
+  for (const AdornedRule& ar : adorned.rules) {
+    const Rule& rule = *ar.rule;
+
+    // Shared prefix builder: magic guard + body atoms < j (IDB atoms
+    // replaced by their adorned answer relations).
+    auto prefix = [&](size_t upto) {
+      std::vector<Atom> body;
+      Atom guard;
+      guard.rel = magic_rel(rule.head.rel, ar.head_adornment);
+      guard.args = BoundArgPatterns(rule.head, ar.head_adornment);
+      body.push_back(std::move(guard));
+      for (size_t j = 0; j < upto; ++j) {
+        const Atom& bj = rule.body[j];
+        if (ar.body_is_idb[j]) {
+          body.push_back(
+              Atom{answer_rel(bj.rel, ar.body_adornments[j]), bj.args});
+        } else {
+          body.push_back(bj);
+        }
+      }
+      return body;
+    };
+
+    // Magic rules: one per IDB body atom.
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      if (!ar.body_is_idb[j]) continue;
+      const Atom& bj = rule.body[j];
+      Rule magic;
+      magic.head.rel = magic_rel(bj.rel, ar.body_adornments[j]);
+      magic.head.args = BoundArgPatterns(bj, ar.body_adornments[j]);
+      magic.body = prefix(j);
+      magic.num_vars = rule.num_vars;
+      magic.var_names = rule.var_names;
+      // Diseqs whose operands are bound within the prefix prune early.
+      std::set<VarId> bound;
+      for (const Atom& a : magic.body) {
+        std::vector<VarId> vars;
+        for (const Pattern& p : a.args) p.CollectVars(&vars);
+        bound.insert(vars.begin(), vars.end());
+      }
+      for (const Diseq& d : rule.diseqs) {
+        std::vector<VarId> vars;
+        d.lhs.CollectVars(&vars);
+        d.rhs.CollectVars(&vars);
+        bool all = true;
+        for (VarId v : vars) all = all && bound.contains(v);
+        if (all) magic.diseqs.push_back(d);
+      }
+      result.program.rules.push_back(std::move(magic));
+    }
+
+    // Modified rule: guarded original with IDB atoms answering through
+    // their adorned relations.
+    Rule modified;
+    modified.head =
+        Atom{answer_rel(rule.head.rel, ar.head_adornment), rule.head.args};
+    modified.body = prefix(rule.body.size());
+    modified.diseqs = rule.diseqs;
+    modified.num_vars = rule.num_vars;
+    modified.var_names = rule.var_names;
+    result.program.rules.push_back(std::move(modified));
+  }
+
+  DQSQ_RETURN_IF_ERROR(ValidateProgram(result.program, ctx));
+  return result;
+}
+
+}  // namespace dqsq

@@ -1,0 +1,25 @@
+// Generalized magic-sets rewriting (Bancilhon–Maier–Sagiv–Ullman, the
+// paper's reference [7]). Closely related to QSQ: instead of chaining
+// supplementary relations it re-joins the rule prefix for every magic rule.
+// Included as the classical comparator for the E2/E7 experiments.
+#ifndef DQSQ_DATALOG_MAGIC_REWRITE_H_
+#define DQSQ_DATALOG_MAGIC_REWRITE_H_
+
+#include "common/status.h"
+#include "datalog/adornment.h"
+#include "datalog/ast.h"
+#include "datalog/qsq_rewrite.h"
+
+namespace dqsq {
+
+/// Rewrites `adorned` into the magic-sets program. The RewriteResult's
+/// input_rel is the magic relation of the query call pattern, to be seeded
+/// with the query's bound arguments; answer_rel holds the adorned answers.
+StatusOr<RewriteResult> MagicRewrite(const AdornedProgram& adorned,
+                                     const RelId& query_rel,
+                                     const Adornment& query_adornment,
+                                     DatalogContext& ctx);
+
+}  // namespace dqsq
+
+#endif  // DQSQ_DATALOG_MAGIC_REWRITE_H_

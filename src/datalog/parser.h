@@ -1,0 +1,38 @@
+// Text syntax for dDatalog programs, used by tests, examples and docs.
+//
+//   path@r(X, Y) :- edge@r(X, Y).
+//   path@r(X, Y) :- edge@r(X, Z), path@r(Z, Y), X != Y.
+//   edge@r(a, b).                        % a fact
+//   node(f(X, c1)) :- src(X).            % function terms in any position
+//
+// Conventions: identifiers starting with an uppercase letter or '_' are
+// variables; other identifiers and quoted strings ("1") are constants;
+// an identifier directly followed by '(' in argument position is a function
+// symbol; "pred@peer(...)" locates an atom, plain "pred(...)" lives at the
+// context's local peer. '%' starts a line comment.
+#ifndef DQSQ_DATALOG_PARSER_H_
+#define DQSQ_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace dqsq {
+
+/// A parsed query atom with its variable environment.
+struct ParsedQuery {
+  Atom atom;
+  uint32_t num_vars = 0;
+  std::vector<std::string> var_names;
+};
+
+/// Parses a whole program (rules and facts).
+StatusOr<Program> ParseProgram(std::string_view text, DatalogContext& ctx);
+
+/// Parses a single atom (e.g. "path@r(a, Y)") for use as a query.
+StatusOr<ParsedQuery> ParseQuery(std::string_view text, DatalogContext& ctx);
+
+}  // namespace dqsq
+
+#endif  // DQSQ_DATALOG_PARSER_H_

@@ -1,0 +1,173 @@
+#include "datalog/pattern.h"
+
+#include "common/logging.h"
+
+namespace dqsq {
+
+Pattern Pattern::Var(VarId var) {
+  Pattern p;
+  p.kind_ = Kind::kVar;
+  p.id_ = var;
+  return p;
+}
+
+Pattern Pattern::Const(SymbolId symbol) {
+  Pattern p;
+  p.kind_ = Kind::kConst;
+  p.id_ = symbol;
+  return p;
+}
+
+Pattern Pattern::App(SymbolId fn, std::vector<Pattern> args) {
+  Pattern p;
+  p.kind_ = Kind::kApp;
+  p.id_ = fn;
+  p.args_ = std::move(args);
+  return p;
+}
+
+bool Pattern::IsGround() const {
+  switch (kind_) {
+    case Kind::kVar:
+      return false;
+    case Kind::kConst:
+      return true;
+    case Kind::kApp:
+      for (const Pattern& a : args_) {
+        if (!a.IsGround()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+void Pattern::CollectVars(std::vector<VarId>* vars) const {
+  switch (kind_) {
+    case Kind::kVar:
+      vars->push_back(id_);
+      return;
+    case Kind::kConst:
+      return;
+    case Kind::kApp:
+      for (const Pattern& a : args_) a.CollectVars(vars);
+      return;
+  }
+}
+
+bool Pattern::FullyBoundBy(const std::vector<TermId>& subst) const {
+  switch (kind_) {
+    case Kind::kVar:
+      return id_ < subst.size() && subst[id_] != kNoTerm;
+    case Kind::kConst:
+      return true;
+    case Kind::kApp:
+      for (const Pattern& a : args_) {
+        if (!a.FullyBoundBy(subst)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+std::string Pattern::ToString(
+    const SymbolTable& symbols,
+    const std::vector<std::string>* var_names) const {
+  switch (kind_) {
+    case Kind::kVar:
+      if (var_names != nullptr && id_ < var_names->size()) {
+        return (*var_names)[id_];
+      }
+      return "V" + std::to_string(id_);
+    case Kind::kConst:
+      return symbols.Name(id_);
+    case Kind::kApp: {
+      std::string out = symbols.Name(id_);
+      out += "(";
+      for (size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += args_[i].ToString(symbols, var_names);
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool operator==(const Pattern& a, const Pattern& b) {
+  if (a.kind_ != b.kind_ || a.id_ != b.id_) return false;
+  return a.args_ == b.args_;
+}
+
+bool MatchPattern(const Pattern& pattern, TermId ground,
+                  const TermArena& arena, Substitution& subst,
+                  std::vector<VarId>& trail) {
+  switch (pattern.kind()) {
+    case Pattern::Kind::kVar: {
+      VarId v = pattern.var();
+      DQSQ_DCHECK(v < subst.size());
+      if (subst[v] == kNoTerm) {
+        subst[v] = ground;
+        trail.push_back(v);
+        return true;
+      }
+      return subst[v] == ground;
+    }
+    case Pattern::Kind::kConst:
+      return arena.IsConstant(ground) && arena.Symbol(ground) == pattern.symbol();
+    case Pattern::Kind::kApp: {
+      if (!arena.IsApp(ground) || arena.Symbol(ground) != pattern.symbol()) {
+        return false;
+      }
+      auto args = arena.Args(ground);
+      if (args.size() != pattern.args().size()) return false;
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (!MatchPattern(pattern.args()[i], args[i], arena, subst, trail)) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void UndoTrail(Substitution& subst, std::vector<VarId>& trail, size_t mark) {
+  while (trail.size() > mark) {
+    subst[trail.back()] = kNoTerm;
+    trail.pop_back();
+  }
+}
+
+TermId GroundPattern(const Pattern& pattern, const Substitution& subst,
+                     TermArena& arena) {
+  TermId t = TryGroundPattern(pattern, subst, arena);
+  DQSQ_CHECK_NE(t, kNoTerm);
+  return t;
+}
+
+TermId TryGroundPattern(const Pattern& pattern, const Substitution& subst,
+                        TermArena& arena) {
+  switch (pattern.kind()) {
+    case Pattern::Kind::kVar: {
+      VarId v = pattern.var();
+      if (v >= subst.size()) return kNoTerm;
+      return subst[v];
+    }
+    case Pattern::Kind::kConst:
+      return arena.MakeConstant(pattern.symbol());
+    case Pattern::Kind::kApp: {
+      std::vector<TermId> args;
+      args.reserve(pattern.args().size());
+      for (const Pattern& a : pattern.args()) {
+        TermId t = TryGroundPattern(a, subst, arena);
+        if (t == kNoTerm) return kNoTerm;
+        args.push_back(t);
+      }
+      return arena.MakeApp(pattern.symbol(), args);
+    }
+  }
+  return kNoTerm;
+}
+
+}  // namespace dqsq

@@ -1,0 +1,81 @@
+// Patterns are terms with variables, as they appear in rule heads and
+// bodies. Variables are rule-local slots (dense indices); a Substitution
+// assigns ground TermIds to slots. Bottom-up evaluation only ever matches
+// patterns against ground facts, so one-way matching (plus grounding)
+// suffices — full unification is not needed.
+#ifndef DQSQ_DATALOG_PATTERN_H_
+#define DQSQ_DATALOG_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/symbol_table.h"
+#include "datalog/term.h"
+
+namespace dqsq {
+
+using VarId = uint32_t;
+
+/// A pattern: variable slot, constant, or function application over patterns.
+class Pattern {
+ public:
+  enum class Kind : uint8_t { kVar, kConst, kApp };
+
+  static Pattern Var(VarId var);
+  static Pattern Const(SymbolId symbol);
+  static Pattern App(SymbolId fn, std::vector<Pattern> args);
+
+  Kind kind() const { return kind_; }
+  VarId var() const { return id_; }
+  SymbolId symbol() const { return id_; }
+  const std::vector<Pattern>& args() const { return args_; }
+
+  /// True iff the pattern contains no variables.
+  bool IsGround() const;
+
+  /// Appends every variable occurring in the pattern to `vars`.
+  void CollectVars(std::vector<VarId>* vars) const;
+
+  /// True iff every variable of the pattern is bound in `subst`.
+  bool FullyBoundBy(const std::vector<TermId>& subst) const;
+
+  /// Renders the pattern; variables print via `var_names` when provided.
+  std::string ToString(const SymbolTable& symbols,
+                       const std::vector<std::string>* var_names) const;
+
+  friend bool operator==(const Pattern& a, const Pattern& b);
+
+ private:
+  Kind kind_ = Kind::kConst;
+  uint32_t id_ = 0;  // VarId for kVar, SymbolId for kConst/kApp
+  std::vector<Pattern> args_;
+};
+
+/// A substitution maps variable slots to ground terms; kNoTerm = unbound.
+using Substitution = std::vector<TermId>;
+
+/// Matches `pattern` against the ground term `ground`, extending `subst`
+/// in place. On failure `subst` may be partially extended — callers keep an
+/// undo mark (`subst` trail) or copy; the evaluator uses a trail.
+/// `trail` records the slots bound during this call so they can be undone.
+bool MatchPattern(const Pattern& pattern, TermId ground,
+                  const TermArena& arena, Substitution& subst,
+                  std::vector<VarId>& trail);
+
+/// Undoes bindings recorded in `trail` past `mark`.
+void UndoTrail(Substitution& subst, std::vector<VarId>& trail, size_t mark);
+
+/// Grounds `pattern` under `subst` (every variable must be bound),
+/// interning new applications in `arena`.
+TermId GroundPattern(const Pattern& pattern, const Substitution& subst,
+                     TermArena& arena);
+
+/// Grounds `pattern` if all its variables are bound; returns kNoTerm
+/// otherwise (used for index-key extraction).
+TermId TryGroundPattern(const Pattern& pattern, const Substitution& subst,
+                        TermArena& arena);
+
+}  // namespace dqsq
+
+#endif  // DQSQ_DATALOG_PATTERN_H_

@@ -1,0 +1,221 @@
+#include "datalog/qsq_rewrite.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace dqsq {
+
+namespace {
+
+std::vector<VarId> SortedVars(const std::set<VarId>& vars) {
+  return std::vector<VarId>(vars.begin(), vars.end());
+}
+
+void CollectAtomVars(const Atom& atom, std::set<VarId>* out) {
+  std::vector<VarId> vars;
+  for (const Pattern& p : atom.args) p.CollectVars(&vars);
+  out->insert(vars.begin(), vars.end());
+}
+
+std::vector<Pattern> VarPatterns(const std::vector<VarId>& vars) {
+  std::vector<Pattern> out;
+  out.reserve(vars.size());
+  for (VarId v : vars) out.push_back(Pattern::Var(v));
+  return out;
+}
+
+/// Patterns at the bound positions of `atom` under `adornment`.
+std::vector<Pattern> BoundArgPatterns(const Atom& atom,
+                                      const Adornment& adornment) {
+  std::vector<Pattern> out;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (adornment[i]) out.push_back(atom.args[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AnswerPredName(const std::string& base, const Adornment& a) {
+  return base + "__" + AdornmentSuffix(a);
+}
+
+std::string InputPredName(const std::string& base, const Adornment& a) {
+  return "in__" + base + "__" + AdornmentSuffix(a);
+}
+
+StatusOr<RewriteResult> QsqRewrite(const AdornedProgram& adorned,
+                                   const RelId& query_rel,
+                                   const Adornment& query_adornment,
+                                   DatalogContext& ctx,
+                                   const QsqOptions& options) {
+  RewriteResult result;
+  result.query_adornment = query_adornment;
+
+  auto input_rel = [&](const RelId& rel, const Adornment& a) {
+    uint32_t bound = static_cast<uint32_t>(
+        std::count(a.begin(), a.end(), true));
+    PredicateId pred = ctx.InternPredicate(
+        InputPredName(ctx.PredicateName(rel.pred), a), bound);
+    return RelId{pred, rel.peer};
+  };
+  auto answer_rel = [&](const RelId& rel, const Adornment& a) {
+    PredicateId pred = ctx.InternPredicate(
+        AnswerPredName(ctx.PredicateName(rel.pred), a),
+        ctx.PredicateArity(rel.pred));
+    return RelId{pred, rel.peer};
+  };
+
+  result.answer_rel = answer_rel(query_rel, query_adornment);
+  result.input_rel = input_rel(query_rel, query_adornment);
+
+  for (const AdornedRule& ar : adorned.rules) {
+    const Rule& rule = *ar.rule;
+    const size_t n = rule.body.size();
+    const SymbolId head_peer = rule.head.rel.peer;
+
+    // bound_after[j]: variables bound before consuming body atom j
+    // (j = n means after the whole body).
+    std::vector<std::set<VarId>> bound_after(n + 1);
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      if (!ar.head_adornment[i]) continue;
+      std::vector<VarId> vars;
+      rule.head.args[i].CollectVars(&vars);
+      bound_after[0].insert(vars.begin(), vars.end());
+    }
+    for (size_t j = 0; j < n; ++j) {
+      bound_after[j + 1] = bound_after[j];
+      CollectAtomVars(rule.body[j], &bound_after[j + 1]);
+    }
+
+    // Attach each disequality to the earliest sup position where both
+    // operands are bound.
+    std::vector<std::vector<const Diseq*>> attached(n + 1);
+    for (const Diseq& d : rule.diseqs) {
+      std::vector<VarId> vars;
+      d.lhs.CollectVars(&vars);
+      d.rhs.CollectVars(&vars);
+      size_t pos = n;
+      for (size_t j = 0; j <= n; ++j) {
+        bool all_bound = true;
+        for (VarId v : vars) {
+          if (!bound_after[j].contains(v)) {
+            all_bound = false;
+            break;
+          }
+        }
+        if (all_bound) {
+          pos = j;
+          break;
+        }
+      }
+      attached[pos].push_back(&d);
+    }
+
+    // needed_after[j]: variables required at or after sup position j —
+    // by later atoms, by the head, or by diseqs attached later.
+    std::vector<std::set<VarId>> needed_after(n + 1);
+    CollectAtomVars(rule.head, &needed_after[n]);
+    for (const Diseq* d : attached[n]) {
+      std::vector<VarId> vars;
+      d->lhs.CollectVars(&vars);
+      d->rhs.CollectVars(&vars);
+      needed_after[n].insert(vars.begin(), vars.end());
+    }
+    for (size_t j = n; j-- > 0;) {
+      needed_after[j] = needed_after[j + 1];
+      CollectAtomVars(rule.body[j], &needed_after[j]);
+      for (const Diseq* d : attached[j]) {
+        std::vector<VarId> vars;
+        d->lhs.CollectVars(&vars);
+        d->rhs.CollectVars(&vars);
+        needed_after[j].insert(vars.begin(), vars.end());
+      }
+    }
+
+    // sup_vars[j]: schema of sup_{r,j}.
+    std::vector<std::vector<VarId>> sup_vars(n + 1);
+    for (size_t j = 0; j <= n; ++j) {
+      if (options.project_relevant_vars) {
+        std::set<VarId> keep;
+        for (VarId v : bound_after[j]) {
+          if (needed_after[j].contains(v)) keep.insert(v);
+        }
+        sup_vars[j] = SortedVars(keep);
+      } else {
+        sup_vars[j] = SortedVars(bound_after[j]);
+      }
+    }
+
+    // sup_{r,j} relation ids. Placement: with atom j (its consumer), final
+    // sup at the head's peer.
+    const std::string tag =
+        options.sup_prefix +
+        (options.project_relevant_vars ? "sup" : "supall");
+    auto sup_rel = [&](size_t j) {
+      std::string name = tag + "__r" + std::to_string(ar.rule_index) + "__" +
+                         AdornmentSuffix(ar.head_adornment) + "__" +
+                         std::to_string(j);
+      PredicateId pred = ctx.InternPredicate(
+          name, static_cast<uint32_t>(sup_vars[j].size()));
+      SymbolId peer = head_peer;
+      if (options.distribute_sups && j < n) peer = rule.body[j].rel.peer;
+      return RelId{pred, peer};
+    };
+
+    auto make_rule = [&](Atom head, std::vector<Atom> body,
+                         const std::vector<const Diseq*>& diseqs) {
+      Rule r;
+      r.head = std::move(head);
+      r.body = std::move(body);
+      for (const Diseq* d : diseqs) r.diseqs.push_back(*d);
+      r.num_vars = rule.num_vars;
+      r.var_names = rule.var_names;
+      result.program.rules.push_back(std::move(r));
+    };
+
+    // Rule A: sup_{r,0} from the input relation.
+    {
+      Atom in_atom;
+      in_atom.rel = input_rel(rule.head.rel, ar.head_adornment);
+      in_atom.args = BoundArgPatterns(rule.head, ar.head_adornment);
+      Atom sup0{sup_rel(0), VarPatterns(sup_vars[0])};
+      make_rule(sup0, {in_atom}, attached[0]);
+    }
+
+    // Rules B and C per body atom.
+    for (size_t j = 0; j < n; ++j) {
+      const Atom& bj = rule.body[j];
+      Atom supj{sup_rel(j), VarPatterns(sup_vars[j])};
+      if (ar.body_is_idb[j]) {
+        // Rule B: feed the callee's input relation.
+        Atom in_atom;
+        in_atom.rel = input_rel(bj.rel, ar.body_adornments[j]);
+        in_atom.args = BoundArgPatterns(bj, ar.body_adornments[j]);
+        make_rule(in_atom, {supj}, {});
+        // Rule C: join with the callee's answers.
+        Atom ans{answer_rel(bj.rel, ar.body_adornments[j]), bj.args};
+        Atom supj1{sup_rel(j + 1), VarPatterns(sup_vars[j + 1])};
+        make_rule(supj1, {supj, ans}, attached[j + 1]);
+      } else {
+        // Rule C': join with the extensional relation directly.
+        Atom supj1{sup_rel(j + 1), VarPatterns(sup_vars[j + 1])};
+        make_rule(supj1, {supj, bj}, attached[j + 1]);
+      }
+    }
+
+    // Rule D: answers.
+    {
+      Atom ans{answer_rel(rule.head.rel, ar.head_adornment), rule.head.args};
+      Atom supn{sup_rel(n), VarPatterns(sup_vars[n])};
+      make_rule(ans, {supn}, {});
+    }
+  }
+
+  DQSQ_RETURN_IF_ERROR(ValidateProgram(result.program, ctx));
+  return result;
+}
+
+}  // namespace dqsq

@@ -1,0 +1,270 @@
+#include "datalog/qsqr.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "datalog/adornment.h"
+#include "datalog/qsq_rewrite.h"
+
+namespace dqsq {
+
+namespace {
+
+class QsqrEngine {
+ public:
+  QsqrEngine(const Program& program, Database& db,
+             const EvalOptions& options)
+      : program_(program), db_(db), options_(options) {}
+
+  StatusOr<QsqrResult> Run(const ParsedQuery& query) {
+    // Index rules by head relation.
+    for (size_t i = 0; i < program_.rules.size(); ++i) {
+      const RelId& rel = program_.rules[i].head.rel;
+      rules_by_head_[{rel.pred, rel.peer}].push_back(i);
+    }
+
+    // Seed the query's call pattern.
+    Adornment adornment = QueryAdornment(query.atom);
+    std::vector<TermId> seed;
+    for (size_t i = 0; i < query.atom.args.size(); ++i) {
+      if (!adornment[i]) continue;
+      seed.push_back(GroundPattern(query.atom.args[i], Substitution(),
+                                   db_.ctx().arena()));
+    }
+    RelId query_rel = query.atom.rel;
+    DQSQ_RETURN_IF_ERROR(AddInput(query_rel, adornment, seed));
+
+    // Global restart loop: recursive processing joins against answer
+    // tables that may still be growing, so re-process every input until
+    // nothing changes (the classical QSQR iteration).
+    QsqrResult result;
+    for (;;) {
+      if (++result.passes > options_.max_rounds) {
+        return ResourceExhaustedError("QSQR exceeded max_rounds");
+      }
+      changed_ = false;
+      // Patterns may be added while iterating: index-stable loop.
+      for (size_t p = 0; p < patterns_.size(); ++p) {
+        Pattern_ pat = patterns_[p];  // copy: vector may grow
+        const Relation* in = db_.Find(pat.input);
+        if (in == nullptr) continue;
+        for (size_t row = 0; row < in->size(); ++row) {
+          auto r = in->Row(row);
+          DQSQ_RETURN_IF_ERROR(ProcessInput(
+              pat, std::vector<TermId>(r.begin(), r.end())));
+        }
+      }
+      if (!changed_) break;
+    }
+
+    // Extract answers for the query pattern.
+    PatternKey key{query_rel.pred, query_rel.peer, adornment};
+    Atom answer_atom{pattern_by_key_.at(key).answers, query.atom.args};
+    result.answers = Ask(db_, answer_atom, query.num_vars);
+    for (const Pattern_& pat : patterns_) {
+      const Relation* ans = db_.Find(pat.answers);
+      const Relation* in = db_.Find(pat.input);
+      if (ans != nullptr) result.answer_facts += ans->size();
+      if (in != nullptr) result.input_facts += in->size();
+    }
+    return result;
+  }
+
+ private:
+  struct PatternKey {
+    PredicateId pred;
+    SymbolId peer;
+    Adornment adornment;
+    friend bool operator<(const PatternKey& a, const PatternKey& b) {
+      if (a.pred != b.pred) return a.pred < b.pred;
+      if (a.peer != b.peer) return a.peer < b.peer;
+      return a.adornment < b.adornment;
+    }
+  };
+  struct Pattern_ {
+    RelId rel;
+    Adornment adornment;
+    RelId input;    // in__R__<a>
+    RelId answers;  // R__<a>
+  };
+
+  bool IsIdb(const RelId& rel) const {
+    return rules_by_head_.contains({rel.pred, rel.peer});
+  }
+
+  /// Registers the call pattern (idempotent) and inserts one input tuple.
+  /// New tuples are processed immediately (recursive QSQ).
+  Status AddInput(const RelId& rel, const Adornment& adornment,
+                  const std::vector<TermId>& tuple) {
+    PatternKey key{rel.pred, rel.peer, adornment};
+    auto it = pattern_by_key_.find(key);
+    if (it == pattern_by_key_.end()) {
+      Pattern_ pat;
+      pat.rel = rel;
+      pat.adornment = adornment;
+      const std::string& base = db_.ctx().PredicateName(rel.pred);
+      uint32_t bound = static_cast<uint32_t>(
+          std::count(adornment.begin(), adornment.end(), true));
+      pat.input = RelId{
+          db_.ctx().InternPredicate(InputPredName(base, adornment), bound),
+          rel.peer};
+      pat.answers = RelId{db_.ctx().InternPredicate(
+                              AnswerPredName(base, adornment),
+                              db_.ctx().PredicateArity(rel.pred)),
+                          rel.peer};
+      it = pattern_by_key_.emplace(key, pat).first;
+      patterns_.push_back(pat);
+    }
+    if (db_.Insert(it->second.input, tuple)) {
+      changed_ = true;
+      DQSQ_RETURN_IF_ERROR(CheckBudget());
+      DQSQ_RETURN_IF_ERROR(ProcessInput(it->second, tuple));
+    }
+    return Status::Ok();
+  }
+
+  Status ProcessInput(const Pattern_& pattern,
+                      const std::vector<TermId>& input) {
+    auto rules = rules_by_head_.find({pattern.rel.pred, pattern.rel.peer});
+    if (rules == rules_by_head_.end()) return Status::Ok();
+    for (size_t rule_index : rules->second) {
+      const Rule& rule = program_.rules[rule_index];
+      Substitution subst(rule.num_vars, kNoTerm);
+      std::vector<VarId> trail;
+      // Bind the bound head positions against the input tuple.
+      bool ok = true;
+      size_t next = 0;
+      for (size_t i = 0; i < rule.head.args.size() && ok; ++i) {
+        if (!pattern.adornment[i]) continue;
+        ok = MatchPattern(rule.head.args[i], input[next++],
+                          db_.ctx().arena(), subst, trail);
+      }
+      if (ok) {
+        DQSQ_RETURN_IF_ERROR(
+            EvalBody(rule, pattern, 0, subst, trail));
+      }
+      UndoTrail(subst, trail, 0);
+    }
+    return Status::Ok();
+  }
+
+  Status EvalBody(const Rule& rule, const Pattern_& pattern, size_t pos,
+                  Substitution& subst, std::vector<VarId>& trail) {
+    if (pos == rule.body.size()) {
+      for (const Diseq& d : rule.diseqs) {
+        TermId lhs = GroundPattern(d.lhs, subst, db_.ctx().arena());
+        TermId rhs = GroundPattern(d.rhs, subst, db_.ctx().arena());
+        if (lhs == rhs) return Status::Ok();
+      }
+      std::vector<TermId> tuple;
+      for (const Pattern& p : rule.head.args) {
+        TermId t = GroundPattern(p, subst, db_.ctx().arena());
+        if (options_.max_term_depth > 0 &&
+            db_.ctx().arena().Depth(t) > options_.max_term_depth) {
+          if (options_.depth_policy == EvalOptions::DepthPolicy::kError) {
+            return ResourceExhaustedError("term depth budget exceeded");
+          }
+          return Status::Ok();
+        }
+        tuple.push_back(t);
+      }
+      if (db_.Insert(pattern.answers, tuple)) {
+        changed_ = true;
+        DQSQ_RETURN_IF_ERROR(CheckBudget());
+      }
+      return Status::Ok();
+    }
+
+    const Atom& atom = rule.body[pos];
+    RelId source = atom.rel;
+    if (IsIdb(atom.rel)) {
+      // Compute the call adornment from the current bindings and demand
+      // the subquery; then join against its (current) answer table.
+      Adornment a;
+      std::vector<TermId> bound_args;
+      for (const Pattern& p : atom.args) {
+        TermId t = TryGroundPattern(p, subst, db_.ctx().arena());
+        a.push_back(t != kNoTerm);
+        if (t != kNoTerm) bound_args.push_back(t);
+      }
+      DQSQ_RETURN_IF_ERROR(AddInput(atom.rel, a, bound_args));
+      PatternKey key{atom.rel.pred, atom.rel.peer, a};
+      source = pattern_by_key_.at(key).answers;
+    }
+
+    Relation* rel = db_.FindMutable(source);
+    if (rel == nullptr) return Status::Ok();
+    // Index probe on the ground columns.
+    uint32_t mask = 0;
+    std::vector<TermId> probe_key;
+    if (atom.args.size() <= 32) {
+      for (size_t c = 0; c < atom.args.size(); ++c) {
+        TermId t = TryGroundPattern(atom.args[c], subst, db_.ctx().arena());
+        if (t != kNoTerm) {
+          mask |= (1u << c);
+          probe_key.push_back(t);
+        }
+      }
+    }
+    auto try_row = [&](size_t row) -> Status {
+      auto values = rel->Row(row);
+      size_t mark = trail.size();
+      bool ok = true;
+      for (size_t c = 0; c < atom.args.size(); ++c) {
+        if (!MatchPattern(atom.args[c], values[c], db_.ctx().arena(), subst,
+                          trail)) {
+          ok = false;
+          break;
+        }
+      }
+      Status s = Status::Ok();
+      if (ok) s = EvalBody(rule, pattern, pos + 1, subst, trail);
+      UndoTrail(subst, trail, mark);
+      return s;
+    };
+    // Copy row ids: recursive subqueries may grow the relation.
+    if (mask != 0) {
+      std::vector<uint32_t> rows = rel->Probe(mask, probe_key);
+      for (uint32_t row : rows) DQSQ_RETURN_IF_ERROR(try_row(row));
+    } else {
+      size_t n = rel->size();
+      for (size_t row = 0; row < n; ++row) {
+        DQSQ_RETURN_IF_ERROR(try_row(row));
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status CheckBudget() {
+    if (db_.TotalFacts() > options_.max_facts) {
+      return ResourceExhaustedError("QSQR exceeded max_facts");
+    }
+    return Status::Ok();
+  }
+
+  const Program& program_;
+  Database& db_;
+  const EvalOptions& options_;
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<size_t>> rules_by_head_;
+  std::map<PatternKey, Pattern_> pattern_by_key_;
+  std::vector<Pattern_> patterns_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+StatusOr<QsqrResult> QsqrSolve(const Program& program, Database& db,
+                               const ParsedQuery& query,
+                               const EvalOptions& options) {
+  DQSQ_RETURN_IF_ERROR(ValidateProgram(program, db.ctx()));
+  for (const Rule& rule : program.rules) {
+    if (!rule.negative.empty()) {
+      return UnimplementedError("QSQR supports positive programs only");
+    }
+  }
+  QsqrEngine engine(program, db, options);
+  return engine.Run(query);
+}
+
+}  // namespace dqsq

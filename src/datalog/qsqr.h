@@ -1,0 +1,45 @@
+// QSQR: the recursive, top-down formulation of Query-Sub-Query (Vieille
+// [34]; the presentation follows Abiteboul–Hull–Vianu ch. 13). Where
+// qsq_rewrite.h realizes QSQ as a program transformation evaluated
+// bottom-up, this engine evaluates subqueries directly: per call pattern
+// (relation, adornment) it maintains an input table (subquery bindings
+// seen) and an answer table, processes rule bodies left-to-right against
+// the current answers, recursing into IDB atoms, and iterates to a global
+// fixpoint because recursive answer tables may be incomplete on the first
+// pass. Both realizations must compute the same answers and the same
+// adorned answer tables — a strong cross-validation of each.
+#ifndef DQSQ_DATALOG_QSQR_H_
+#define DQSQ_DATALOG_QSQR_H_
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/database.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+
+namespace dqsq {
+
+struct QsqrResult {
+  /// Query-variable bindings, deduplicated and sorted (same contract as
+  /// QueryResult::answers).
+  std::vector<Tuple> answers;
+  /// Facts in the answer tables across all call patterns.
+  size_t answer_facts = 0;
+  /// Facts in the input tables (the demand bookkeeping).
+  size_t input_facts = 0;
+  /// Global passes until the fixpoint.
+  size_t passes = 0;
+};
+
+/// Answers `query` against `program` + the extensional facts in `db` by
+/// top-down QSQR. Answer/input tables are stored in `db` under the same
+/// "R__<adornment>" / "in__R__<adornment>" names the rewriting uses, so
+/// table contents are directly comparable across the two realizations.
+/// Positive programs only.
+StatusOr<QsqrResult> QsqrSolve(const Program& program, Database& db,
+                               const ParsedQuery& query,
+                               const EvalOptions& options = {});
+
+}  // namespace dqsq
+
+#endif  // DQSQ_DATALOG_QSQR_H_

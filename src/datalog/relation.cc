@@ -1,0 +1,76 @@
+#include "datalog/relation.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dqsq {
+
+const std::vector<uint32_t> Relation::kEmptyRows;
+
+size_t Relation::KeyHash::operator()(const std::vector<TermId>& key) const {
+  return HashRange(key.begin(), key.end());
+}
+
+bool Relation::Insert(std::span<const TermId> tuple) {
+  DQSQ_DCHECK(tuple.size() == arity_);
+  size_t h = HashRange(tuple.begin(), tuple.end());
+  auto it = dedup_.find(h);
+  if (it != dedup_.end()) {
+    for (uint32_t row : it->second) {
+      if (std::equal(tuple.begin(), tuple.end(), Row(row).begin())) {
+        return false;
+      }
+    }
+  }
+  uint32_t row = static_cast<uint32_t>(size());
+  flat_.insert(flat_.end(), tuple.begin(), tuple.end());
+  ++num_rows_;
+  dedup_[h].push_back(row);
+  // Keep existing indices current.
+  for (auto& [mask, index] : indices_) {
+    index[KeyFor(row, mask)].push_back(row);
+  }
+  return true;
+}
+
+bool Relation::Contains(std::span<const TermId> tuple) const {
+  DQSQ_DCHECK(tuple.size() == arity_);
+  size_t h = HashRange(tuple.begin(), tuple.end());
+  auto it = dedup_.find(h);
+  if (it == dedup_.end()) return false;
+  for (uint32_t row : it->second) {
+    if (std::equal(tuple.begin(), tuple.end(), Row(row).begin())) return true;
+  }
+  return false;
+}
+
+std::vector<TermId> Relation::KeyFor(size_t row, uint32_t mask) const {
+  std::vector<TermId> key;
+  auto r = Row(row);
+  for (uint32_t c = 0; c < arity_; ++c) {
+    if (mask & (1u << c)) key.push_back(r[c]);
+  }
+  return key;
+}
+
+Relation::Index& Relation::GetIndex(uint32_t mask) {
+  auto it = indices_.find(mask);
+  if (it != indices_.end()) return it->second;
+  Index& index = indices_[mask];
+  for (size_t row = 0; row < size(); ++row) {
+    index[KeyFor(row, mask)].push_back(static_cast<uint32_t>(row));
+  }
+  return index;
+}
+
+const std::vector<uint32_t>& Relation::Probe(uint32_t mask,
+                                             std::span<const TermId> key) {
+  Index& index = GetIndex(mask);
+  auto it = index.find(std::vector<TermId>(key.begin(), key.end()));
+  if (it == index.end()) return kEmptyRows;
+  return it->second;
+}
+
+}  // namespace dqsq

@@ -1,0 +1,67 @@
+// Relation storage: a deduplicated, insertion-ordered set of ground tuples
+// with lazily built hash indices keyed by column subsets. Insertion order is
+// what makes semi-naive evaluation cheap: the delta of a round is simply the
+// suffix of rows appended since the previous round.
+#ifndef DQSQ_DATALOG_RELATION_H_
+#define DQSQ_DATALOG_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/term.h"
+
+namespace dqsq {
+
+using Tuple = std::vector<TermId>;
+
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return num_rows_; }
+
+  /// Inserts `tuple` (size must equal arity). Returns true if new.
+  bool Insert(std::span<const TermId> tuple);
+
+  /// True iff `tuple` is present.
+  bool Contains(std::span<const TermId> tuple) const;
+
+  /// Row `i` in insertion order.
+  std::span<const TermId> Row(size_t i) const {
+    return {flat_.data() + i * arity_, arity_};
+  }
+
+  /// Rows whose columns selected by `mask` (bit c set = column c fixed)
+  /// equal `key` (the fixed values, in ascending column order). Builds the
+  /// index for `mask` on first use. Returns row indices.
+  const std::vector<uint32_t>& Probe(uint32_t mask,
+                                     std::span<const TermId> key);
+
+  /// Number of distinct indices built so far (introspection for tests).
+  size_t num_indices() const { return indices_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<TermId>& key) const;
+  };
+  using Index = std::unordered_map<std::vector<TermId>, std::vector<uint32_t>,
+                                   KeyHash>;
+
+  std::vector<TermId> KeyFor(size_t row, uint32_t mask) const;
+  Index& GetIndex(uint32_t mask);
+
+  uint32_t arity_;
+  size_t num_rows_ = 0;  // flat_.size() / arity_, tracked so arity 0 works
+  std::vector<TermId> flat_;
+  // Dedup set: hashes full tuples, values are row indices.
+  std::unordered_map<size_t, std::vector<uint32_t>> dedup_;
+  std::unordered_map<uint32_t, Index> indices_;
+  static const std::vector<uint32_t> kEmptyRows;
+};
+
+}  // namespace dqsq
+
+#endif  // DQSQ_DATALOG_RELATION_H_

@@ -1,0 +1,81 @@
+#include "datalog/term.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dqsq {
+
+const TermArena::Node& TermArena::node(TermId term) const {
+  DQSQ_DCHECK(term < nodes_.size());
+  return nodes_[term];
+}
+
+size_t TermArena::HashKey(bool is_app, SymbolId symbol,
+                          std::span<const TermId> args) const {
+  size_t seed = is_app ? 0x517cc1b727220a95ULL : 0x2545f4914f6cdd1dULL;
+  HashCombine(seed, symbol);
+  for (TermId a : args) HashCombine(seed, a);
+  return seed;
+}
+
+bool TermArena::KeyEquals(TermId term, bool is_app, SymbolId symbol,
+                          std::span<const TermId> args) const {
+  const Node& n = node(term);
+  if (n.is_app != is_app || n.symbol != symbol || n.num_args != args.size()) {
+    return false;
+  }
+  return std::equal(args.begin(), args.end(), args_.begin() + n.first_arg);
+}
+
+TermId TermArena::MakeConstant(SymbolId symbol) {
+  size_t h = HashKey(/*is_app=*/false, symbol, {});
+  auto [lo, hi] = intern_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (KeyEquals(it->second, false, symbol, {})) return it->second;
+  }
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(Node{symbol, 0, 0, /*is_app=*/false, /*depth=*/1});
+  intern_.emplace(h, id);
+  return id;
+}
+
+TermId TermArena::MakeApp(SymbolId fn, std::span<const TermId> args) {
+  size_t h = HashKey(/*is_app=*/true, fn, args);
+  auto [lo, hi] = intern_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    if (KeyEquals(it->second, true, fn, args)) return it->second;
+  }
+  uint32_t depth = 1;
+  for (TermId a : args) depth = std::max(depth, node(a).depth + 1);
+  TermId id = static_cast<TermId>(nodes_.size());
+  uint32_t first = static_cast<uint32_t>(args_.size());
+  args_.insert(args_.end(), args.begin(), args.end());
+  nodes_.push_back(Node{fn, first, static_cast<uint16_t>(args.size()),
+                        /*is_app=*/true, depth});
+  intern_.emplace(h, id);
+  return id;
+}
+
+std::span<const TermId> TermArena::Args(TermId term) const {
+  const Node& n = node(term);
+  return {args_.data() + n.first_arg, n.num_args};
+}
+
+std::string TermArena::ToString(TermId term, const SymbolTable& symbols) const {
+  const Node& n = node(term);
+  std::string out = symbols.Name(n.symbol);
+  if (n.is_app) {
+    out += "(";
+    auto args = Args(term);
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ",";
+      out += ToString(args[i], symbols);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace dqsq

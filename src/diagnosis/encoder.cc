@@ -1,0 +1,294 @@
+#include "diagnosis/encoder.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "common/logging.h"
+#include "diagnosis/explanation.h"
+#include "diagnosis/rule_builder.h"
+
+namespace dqsq::diagnosis {
+
+namespace {
+
+using petri::PetriNet;
+using petri::PlaceId;
+using petri::TransitionId;
+
+/// Enumerates every element of the cartesian product of `choices`.
+void Product(const std::vector<std::vector<std::string>>& choices,
+             std::vector<std::vector<std::string>>* out) {
+  std::vector<std::string> current(choices.size());
+  std::function<void(size_t)> rec = [&](size_t i) {
+    if (i == choices.size()) {
+      out->push_back(current);
+      return;
+    }
+    for (const std::string& c : choices[i]) {
+      current[i] = c;
+      rec(i + 1);
+    }
+  };
+  rec(0);
+}
+
+}  // namespace
+
+std::string TransPredName(uint32_t k) {
+  return "utrans" + std::to_string(k);
+}
+
+StatusOr<EncodedNet> EncodeNet(const PetriNet& net, DatalogContext& ctx) {
+  DQSQ_RETURN_IF_ERROR(net.Validate());
+  EncodedNet out;
+  RuleBuilder b(&ctx);
+  Program& prog = out.program;
+
+  std::vector<std::string> peers;
+  for (petri::PeerIndex p = 0; p < net.num_peers(); ++p) {
+    peers.push_back(net.peer_name(p));
+    out.peer_symbol.push_back(ctx.symbols().Intern(net.peer_name(p)));
+  }
+
+  // Producer-peer choices per place: peers of transitions producing the
+  // place, plus the place's own peer when it can be a root condition.
+  auto producer_peers = [&](PlaceId s) {
+    std::set<std::string> q;
+    for (TransitionId t : net.Producers(s)) {
+      q.insert(net.peer_name(net.transition(t).peer));
+    }
+    if (net.initial_marking()[s]) q.insert(net.peer_name(net.place(s).peer));
+    return std::vector<std::string>(q.begin(), q.end());
+  };
+
+  std::set<uint32_t> arities;
+  for (TransitionId t = 0; t < net.num_transitions(); ++t) {
+    arities.insert(static_cast<uint32_t>(net.transition(t).pre.size()));
+  }
+  out.arities.assign(arities.begin(), arities.end());
+
+  // A. Roots (paper rule (††)): one places/map fact per marked place.
+  for (PlaceId s = 0; s < net.num_places(); ++s) {
+    if (!net.initial_marking()[s]) continue;
+    const std::string peer = net.peer_name(net.place(s).peer);
+    const std::string pl = PlaceConstant(net, s);
+    Pattern root_cond = b.App("g", {b.C("r"), b.C(pl)});
+    prog.rules.push_back(
+        b.Build(b.MakeAtom("uplaces", peer, {root_cond, b.C("r")}), {}));
+    root_cond = b.App("g", {b.C("r"), b.C(pl)});
+    prog.rules.push_back(
+        b.Build(b.MakeAtom("umap", peer, {root_cond, b.C(pl)}), {}));
+  }
+
+  for (TransitionId t = 0; t < net.num_transitions(); ++t) {
+    const petri::Transition& tr = net.transition(t);
+    const std::string p = net.peer_name(tr.peer);
+    const uint32_t k = static_cast<uint32_t>(tr.pre.size());
+    const std::string trans_pred = TransPredName(k);
+    const std::string tc = TransitionConstant(net, t);
+
+    // Producer-peer combinations for the k parent places.
+    std::vector<std::vector<std::string>> choices;
+    for (PlaceId s : tr.pre) choices.push_back(producer_peers(s));
+    bool fireable = true;
+    for (const auto& c : choices) fireable &= !c.empty();
+
+    std::vector<std::vector<std::string>> combos;
+    if (fireable) Product(choices, &combos);
+
+    // B. Event creation, one rule pair per producer-peer combination.
+    for (const auto& combo : combos) {
+      auto make_body = [&]() {
+        std::vector<Atom> body;
+        for (uint32_t i = 0; i < k; ++i) {
+          std::string ui = "U" + std::to_string(i);
+          body.push_back(b.MakeAtom(
+              "umap", combo[i],
+              {b.V(ui), b.C(PlaceConstant(net, tr.pre[i]))}));
+          body.push_back(b.MakeAtom(
+              "uplaces", combo[i],
+              {b.V(ui), b.V("W" + std::to_string(i))}));
+        }
+        // Pairwise: Wj's history does not contain Ui (¬(Ui ⪯ Wj))...
+        for (uint32_t i = 0; i < k; ++i) {
+          for (uint32_t j = 0; j < k; ++j) {
+            if (i == j) continue;
+            body.push_back(b.MakeAtom(
+                "unotCausal", combo[j],
+                {b.V("W" + std::to_string(j)), b.V("U" + std::to_string(i))}));
+          }
+        }
+        // ...and the producers are not in conflict.
+        for (uint32_t i = 0; i < k; ++i) {
+          for (uint32_t j = i + 1; j < k; ++j) {
+            body.push_back(b.MakeAtom(
+                "unotConf", combo[i],
+                {b.V("W" + std::to_string(i)), b.V("W" + std::to_string(j))}));
+          }
+        }
+        return body;
+      };
+      auto event_term = [&]() {
+        std::vector<Pattern> args{b.C(tc)};
+        for (uint32_t i = 0; i < k; ++i) args.push_back(b.V("U" + std::to_string(i)));
+        return b.App("f", std::move(args));
+      };
+      // Head 1: utrans<k>(f(tc, U...), U...).
+      {
+        std::vector<Pattern> head_args{event_term()};
+        for (uint32_t i = 0; i < k; ++i) {
+          head_args.push_back(b.V("U" + std::to_string(i)));
+        }
+        prog.rules.push_back(b.Build(
+            b.MakeAtom(trans_pred, p, std::move(head_args)), make_body()));
+      }
+      // Head 2: umap(f(tc, U...), tc).
+      prog.rules.push_back(b.Build(
+          b.MakeAtom("umap", p, {event_term(), b.C(tc)}), make_body()));
+    }
+
+    // C. Condition creation for each child place.
+    for (PlaceId s : tr.post) {
+      const std::string pl = PlaceConstant(net, s);
+      auto trans_args = [&]() {
+        std::vector<Pattern> args{b.V("X")};
+        for (uint32_t i = 0; i < k; ++i) {
+          args.push_back(b.V("U" + std::to_string(i)));
+        }
+        return args;
+      };
+      prog.rules.push_back(b.Build(
+          b.MakeAtom("uplaces", p, {b.App("g", {b.V("X"), b.C(pl)}), b.V("X")}),
+          {b.MakeAtom("umap", p, {b.V("X"), b.C(tc)}),
+           b.MakeAtom(trans_pred, p, trans_args())}));
+      prog.rules.push_back(b.Build(
+          b.MakeAtom("umap", p,
+                     {b.App("g", {b.V("X"), b.C(pl)}), b.C(pl)}),
+          {b.MakeAtom("umap", p, {b.V("X"), b.C(tc)}),
+           b.MakeAtom(trans_pred, p, trans_args())}));
+    }
+
+    // D. Event view.
+    {
+      std::vector<Pattern> args{b.V("X")};
+      for (uint32_t i = 0; i < k; ++i) {
+        args.push_back(b.V("U" + std::to_string(i)));
+      }
+      prog.rules.push_back(
+          b.Build(b.MakeAtom("uevent", p, {b.V("X")}),
+                  {b.MakeAtom(trans_pred, p, std::move(args))}));
+    }
+
+    // E. causal recursion: one rule per parent position and producer peer.
+    for (uint32_t i = 0; i < k; ++i) {
+      for (const std::string& q : producer_peers(tr.pre[i])) {
+        std::vector<Pattern> args{b.V("X")};
+        for (uint32_t a = 0; a < k; ++a) {
+          args.push_back(b.V("U" + std::to_string(a)));
+        }
+        prog.rules.push_back(b.Build(
+            b.MakeAtom("ucausal", p, {b.V("X"), b.V("Y")}),
+            {b.MakeAtom(trans_pred, p, std::move(args)),
+             b.MakeAtom("uplaces", q,
+                        {b.V("U" + std::to_string(i)), b.V("W")}),
+             b.MakeAtom("ucausal", q, {b.V("W"), b.V("Y")})}));
+      }
+    }
+
+    // F. notCausal recursion: ¬(Y ⪯ X) — per producer-peer combination.
+    for (const auto& combo : combos) {
+      std::vector<Atom> body;
+      std::vector<Diseq> diseqs;
+      {
+        std::vector<Pattern> args{b.V("X")};
+        for (uint32_t i = 0; i < k; ++i) {
+          args.push_back(b.V("U" + std::to_string(i)));
+        }
+        body.push_back(b.MakeAtom(trans_pred, p, std::move(args)));
+      }
+      for (uint32_t i = 0; i < k; ++i) {
+        body.push_back(b.MakeAtom(
+            "uplaces", combo[i],
+            {b.V("U" + std::to_string(i)), b.V("W" + std::to_string(i))}));
+        body.push_back(b.MakeAtom(
+            "unotCausal", combo[i],
+            {b.V("W" + std::to_string(i)), b.V("Y")}));
+        diseqs.push_back(Diseq{b.V("U" + std::to_string(i)), b.V("Y")});
+      }
+      diseqs.push_back(Diseq{b.V("X"), b.V("Y")});
+      prog.rules.push_back(
+          b.Build(b.MakeAtom("unotCausal", p, {b.V("X"), b.V("Y")}),
+                  std::move(body), std::move(diseqs)));
+    }
+
+    // G3. notConf recursion: X and Y unrelated, no inherited conflict, and
+    // no parent condition of X below Y — per combo and per peer of Y.
+    for (const auto& combo : combos) {
+      for (const std::string& qy : peers) {
+        std::vector<Atom> body;
+        std::vector<Diseq> diseqs;
+        {
+          std::vector<Pattern> args{b.V("X")};
+          for (uint32_t i = 0; i < k; ++i) {
+            args.push_back(b.V("U" + std::to_string(i)));
+          }
+          body.push_back(b.MakeAtom(trans_pred, p, std::move(args)));
+        }
+        body.push_back(b.MakeAtom("uevent", qy, {b.V("Y")}));
+        for (uint32_t i = 0; i < k; ++i) {
+          body.push_back(b.MakeAtom(
+              "uplaces", combo[i],
+              {b.V("U" + std::to_string(i)), b.V("W" + std::to_string(i))}));
+          body.push_back(b.MakeAtom(
+              "unotConf", combo[i],
+              {b.V("W" + std::to_string(i)), b.V("Y")}));
+          body.push_back(b.MakeAtom(
+              "unotCausal", qy,
+              {b.V("Y"), b.V("U" + std::to_string(i))}));
+        }
+        diseqs.push_back(Diseq{b.V("X"), b.V("Y")});
+        prog.rules.push_back(
+            b.Build(b.MakeAtom("unotConf", p, {b.V("X"), b.V("Y")}),
+                    std::move(body), std::move(diseqs)));
+      }
+    }
+  }
+
+  // Per-peer and per-peer-pair base rules.
+  for (const std::string& p : peers) {
+    // causal reflexivity.
+    prog.rules.push_back(b.Build(b.MakeAtom("ucausal", p, {b.V("X"), b.V("X")}),
+                                 {b.MakeAtom("uevent", p, {b.V("X")})}));
+    // notConf via comparability (rule G2).
+    prog.rules.push_back(
+        b.Build(b.MakeAtom("unotConf", p, {b.V("X"), b.V("Y")}),
+                {b.MakeAtom("ucausal", p, {b.V("X"), b.V("Y")})}));
+    for (const std::string& q : peers) {
+      prog.rules.push_back(
+          b.Build(b.MakeAtom("unotConf", p, {b.V("X"), b.V("Y")}),
+                  {b.MakeAtom("uevent", p, {b.V("X")}),
+                   b.MakeAtom("ucausal", q, {b.V("Y"), b.V("X")})}));
+    }
+    // Virtual-root bases: r has no history (paper's notCausal(r, ·) rule)
+    // and conflicts with nothing.
+    for (const std::string& q : peers) {
+      prog.rules.push_back(
+          b.Build(b.MakeAtom("unotCausal", p, {b.C("r"), b.V("Y")}),
+                  {b.MakeAtom("uplaces", q, {b.V("Y"), b.V("W")})}));
+      prog.rules.push_back(
+          b.Build(b.MakeAtom("unotConf", p, {b.C("r"), b.V("Y")}),
+                  {b.MakeAtom("uevent", q, {b.V("Y")})}));
+    }
+    prog.rules.push_back(
+        b.Build(b.MakeAtom("unotConf", p, {b.V("X"), b.C("r")}),
+                {b.MakeAtom("uevent", p, {b.V("X")})}));
+    prog.rules.push_back(
+        b.Build(b.MakeAtom("unotConf", p, {b.C("r"), b.C("r")}), {}));
+  }
+
+  DQSQ_RETURN_IF_ERROR(ValidateProgram(prog, ctx));
+  return out;
+}
+
+}  // namespace dqsq::diagnosis

@@ -1,0 +1,54 @@
+// Petri net → dDatalog unfolding program (paper §4.1). Every peer's rules
+// are generated from its local view only: its own transitions, their
+// parent/child places, and the statically known peers of the producer
+// transitions of those places (the paper's Neighb(p)). Function symbols
+// name unfolding nodes by their causal history:
+//   f(tr_t, u1..uk)  — the event firing transition t from conditions ui,
+//   g(x, pl_s)       — the condition of place s produced by event x
+//                      (x = the virtual root "r" for initially marked
+//                      places, as in the paper's rule (††)).
+//
+// Generalization: the paper assumes every transition has exactly two
+// parents and notes the general case is straightforward; we generate
+// arity-specific relations utrans<k>(x, u1..uk) plus an arity-neutral
+// uevent view, and instantiate each rule per combination of producer
+// peers (the paper's "for all p', p'' in Neighb(p)").
+//
+// Relations per peer (located by the node the first argument denotes):
+//   utrans<k>(x, u1..uk)  event x with preset conditions u1..uk
+//   uplaces(s, x)         condition s produced by event x (or "r")
+//   umap(x, c)            homomorphism ρ to net node constants
+//   uevent(x)             projection of utrans<k>
+//   ucausal(x, y)         y ⪯ x, both events
+//   unotCausal(x, y)      ¬(y ⪯ x); x an event or "r", y a condition
+//   unotConf(x, y)        ¬(x # y), events or "r"
+#ifndef DQSQ_DIAGNOSIS_ENCODER_H_
+#define DQSQ_DIAGNOSIS_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "petri/net.h"
+
+namespace dqsq::diagnosis {
+
+struct EncodedNet {
+  Program program;
+  /// Peer symbol per PetriNet PeerIndex.
+  std::vector<SymbolId> peer_symbol;
+  /// Distinct preset arities occurring in the net.
+  std::vector<uint32_t> arities;
+};
+
+/// Name of the event-creation relation of arity 1+k.
+std::string TransPredName(uint32_t k);
+
+/// Encodes `net` (validated) into the distributed unfolding program.
+StatusOr<EncodedNet> EncodeNet(const petri::PetriNet& net,
+                               DatalogContext& ctx);
+
+}  // namespace dqsq::diagnosis
+
+#endif  // DQSQ_DIAGNOSIS_ENCODER_H_

@@ -1,0 +1,68 @@
+#include "diagnosis/explanation.h"
+
+#include <algorithm>
+
+namespace dqsq::diagnosis {
+
+std::string ExplanationToString(const Explanation& explanation) {
+  std::string out;
+  for (const std::string& e : explanation.events) {
+    out += e;
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TransitionConstant(const petri::PetriNet& net,
+                               petri::TransitionId t) {
+  return petri::TransitionConstantName(net, t);
+}
+
+std::string PlaceConstant(const petri::PetriNet& net, petri::PlaceId p) {
+  return petri::PlaceConstantName(net, p);
+}
+
+namespace {
+
+std::string ConditionTerm(const petri::Unfolding& u, petri::CondId c) {
+  const petri::Condition& cond = u.condition(c);
+  std::string producer = cond.producer == petri::kInvalidId
+                             ? "r"
+                             : EventTerm(u, cond.producer);
+  return "g(" + producer + "," + PlaceConstant(u.net(), cond.place) + ")";
+}
+
+}  // namespace
+
+std::string EventTerm(const petri::Unfolding& u, petri::EventId e) {
+  const petri::Event& event = u.event(e);
+  std::string out =
+      "f(" + TransitionConstant(u.net(), event.transition);
+  for (petri::CondId c : event.preset) {
+    out += ",";
+    out += ConditionTerm(u, c);
+  }
+  out += ")";
+  return out;
+}
+
+Explanation FromConfiguration(const petri::Unfolding& u,
+                              const petri::Configuration& config) {
+  Explanation out;
+  for (petri::EventId e : config) out.events.push_back(EventTerm(u, e));
+  std::sort(out.events.begin(), out.events.end());
+  return out;
+}
+
+std::vector<Explanation> Canonicalize(
+    std::vector<Explanation> explanations) {
+  for (Explanation& e : explanations) {
+    std::sort(e.events.begin(), e.events.end());
+  }
+  std::sort(explanations.begin(), explanations.end());
+  explanations.erase(std::unique(explanations.begin(), explanations.end()),
+                     explanations.end());
+  return explanations;
+}
+
+}  // namespace dqsq::diagnosis

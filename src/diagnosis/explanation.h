@@ -1,0 +1,54 @@
+// Canonical explanations, comparable across every engine. A diagnosis
+// explanation is a configuration of the unfolding; its events are named by
+// their causal history, which is exactly what the paper's Skolem terms
+// f(c, u1..uk) / g(x, c') encode. We therefore canonicalize an explanation
+// as the sorted list of its events' ground Skolem terms rendered as
+// strings — identical whether the explanation came from the Datalog
+// supervisor program, from the BFHJ baseline, or from the reference
+// diagnoser (Theorems 2/3's bijection made executable).
+#ifndef DQSQ_DIAGNOSIS_EXPLANATION_H_
+#define DQSQ_DIAGNOSIS_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "petri/configuration.h"
+#include "petri/unfolding.h"
+
+namespace dqsq::diagnosis {
+
+struct Explanation {
+  /// Sorted canonical event terms, e.g. "f(tr_i,g(r,pl_1),g(r,pl_7))".
+  std::vector<std::string> events;
+
+  friend bool operator==(const Explanation& a, const Explanation& b) {
+    return a.events == b.events;
+  }
+  friend bool operator<(const Explanation& a, const Explanation& b) {
+    return a.events < b.events;
+  }
+};
+
+/// One line per event.
+std::string ExplanationToString(const Explanation& explanation);
+
+/// Canonical Skolem name of net transition / place node constants, shared
+/// by the encoder and the unfolding-side canonicalizer.
+std::string TransitionConstant(const petri::PetriNet& net,
+                               petri::TransitionId t);
+std::string PlaceConstant(const petri::PetriNet& net, petri::PlaceId p);
+
+/// The canonical term of an unfolding event (recursively through its
+/// causal history; root conditions render as g(r, place)).
+std::string EventTerm(const petri::Unfolding& u, petri::EventId e);
+
+/// Canonicalizes a configuration of the explicit unfolding.
+Explanation FromConfiguration(const petri::Unfolding& u,
+                              const petri::Configuration& config);
+
+/// Sorts and deduplicates a batch of explanations.
+std::vector<Explanation> Canonicalize(std::vector<Explanation> explanations);
+
+}  // namespace dqsq::diagnosis
+
+#endif  // DQSQ_DIAGNOSIS_EXPLANATION_H_

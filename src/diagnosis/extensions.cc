@@ -1,0 +1,79 @@
+#include "diagnosis/extensions.h"
+
+#include "common/logging.h"
+
+namespace dqsq::diagnosis {
+
+AlarmAutomaton AnyOrderAutomaton(const std::vector<std::string>& symbols,
+                                 uint32_t count) {
+  AlarmAutomaton a;
+  a.num_states = count + 1;
+  for (uint32_t i = 0; i < count; ++i) {
+    for (const std::string& s : symbols) a.edges.push_back({i, s, i + 1});
+  }
+  a.accepting = {count};
+  return a;
+}
+
+AlarmAutomaton StarPatternAutomaton(const std::string& first,
+                                    const std::string& middle,
+                                    const std::string& last) {
+  AlarmAutomaton a;
+  a.num_states = 3;
+  a.edges = {{0, first, 1}, {1, middle, 1}, {1, last, 2}};
+  a.accepting = {2};
+  return a;
+}
+
+AlarmAutomaton ForbiddenSubsequenceAutomaton(
+    const std::vector<std::string>& alphabet,
+    const std::vector<std::string>& forbidden, uint32_t max_len) {
+  DQSQ_CHECK(!forbidden.empty());
+  const uint32_t f = static_cast<uint32_t>(forbidden.size());
+  // State = (length consumed, longest prefix of `forbidden` matching a
+  // suffix of the input). Reaching prefix == f is a dead end (omitted
+  // state), so matching sequences are rejected. KMP-style failure links
+  // keep the automaton deterministic.
+  auto failure = [&](uint32_t prefix, const std::string& symbol) {
+    // Longest k such that forbidden[0..k) is a suffix of
+    // forbidden[0..prefix) + symbol.
+    std::vector<std::string> text(forbidden.begin(),
+                                  forbidden.begin() + prefix);
+    text.push_back(symbol);
+    for (uint32_t k = std::min<uint32_t>(f, prefix + 1);; --k) {
+      bool match = true;
+      for (uint32_t i = 0; i < k; ++i) {
+        if (forbidden[i] != text[text.size() - k + i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return k;
+      if (k == 0) return 0u;
+    }
+  };
+
+  AlarmAutomaton a;
+  auto state_id = [&](uint32_t len, uint32_t prefix) {
+    return len * f + prefix;  // prefix < f (prefix == f is rejected)
+  };
+  a.num_states = (max_len + 1) * f;
+  for (uint32_t len = 0; len < max_len; ++len) {
+    for (uint32_t prefix = 0; prefix < f; ++prefix) {
+      for (const std::string& s : alphabet) {
+        uint32_t next = failure(prefix, s);
+        if (next >= f) continue;  // would complete the forbidden pattern
+        a.edges.push_back({state_id(len, prefix), s,
+                           state_id(len + 1, next)});
+      }
+    }
+  }
+  for (uint32_t len = 0; len <= max_len; ++len) {
+    for (uint32_t prefix = 0; prefix < f; ++prefix) {
+      a.accepting.push_back(state_id(len, prefix));
+    }
+  }
+  return a;
+}
+
+}  // namespace dqsq::diagnosis

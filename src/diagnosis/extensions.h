@@ -1,0 +1,36 @@
+// §4.4 extensions beyond the basic diagnosis problem. Hidden transitions
+// are built into the supervisor (SupervisorOptions::max_hidden); this
+// header provides alarm-pattern automata: because the supervisor is
+// generic over per-peer automata, pattern diagnosis ("explain any
+// observation matching α.β*.α") and forbidden patterns are just different
+// automata — exactly the paper's point that the whole class reduces to
+// dDatalog + dQSQ.
+#ifndef DQSQ_DIAGNOSIS_EXTENSIONS_H_
+#define DQSQ_DIAGNOSIS_EXTENSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "diagnosis/supervisor.h"
+
+namespace dqsq::diagnosis {
+
+/// Accepts any sequence of exactly `count` symbols drawn from `symbols`.
+AlarmAutomaton AnyOrderAutomaton(const std::vector<std::string>& symbols,
+                                 uint32_t count);
+
+/// Accepts first.(middle)*.last — the paper's α.β*.α example shape.
+AlarmAutomaton StarPatternAutomaton(const std::string& first,
+                                    const std::string& middle,
+                                    const std::string& last);
+
+/// Accepts sequences over `alphabet` of length up to `max_len` that do NOT
+/// contain `forbidden` as a contiguous subsequence (the paper's "block the
+/// construction upon detection" extension, made finite with a length cap).
+AlarmAutomaton ForbiddenSubsequenceAutomaton(
+    const std::vector<std::string>& alphabet,
+    const std::vector<std::string>& forbidden, uint32_t max_len);
+
+}  // namespace dqsq::diagnosis
+
+#endif  // DQSQ_DIAGNOSIS_EXTENSIONS_H_

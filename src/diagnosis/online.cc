@@ -1,0 +1,123 @@
+#include "diagnosis/online.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "diagnosis/encoder.h"
+#include "diagnosis/rule_builder.h"
+
+namespace dqsq::diagnosis {
+
+namespace {
+
+std::string StateConst(const std::string& peer, uint32_t s) {
+  return "st_" + peer + "_" + std::to_string(s);
+}
+
+}  // namespace
+
+StatusOr<OnlineDiagnoser> OnlineDiagnoser::Create(
+    const petri::PetriNet& net, const OnlineOptions& options) {
+  OnlineDiagnoser d;
+  d.options_ = options;
+  d.ctx_ = std::make_unique<DatalogContext>();
+  d.db_ = std::make_unique<Database>(d.ctx_.get());
+
+  DQSQ_ASSIGN_OR_RETURN(EncodedNet encoded, EncodeNet(net, *d.ctx_));
+  // Open chain automata for every peer: edges arrive as facts.
+  std::map<std::string, AlarmAutomaton> automata;
+  for (petri::PeerIndex p = 0; p < net.num_peers(); ++p) {
+    AlarmAutomaton open;
+    open.num_states = 1;
+    open.accepting = {0};  // unused: queries are versioned
+    automata[net.peer_name(p)] = open;
+  }
+  SupervisorOptions sopts;
+  sopts.open_automata = true;
+  sopts.emit_query = false;
+  DQSQ_ASSIGN_OR_RETURN(
+      SupervisorProgram sup,
+      BuildSupervisor(net, encoded, automata, sopts, *d.ctx_));
+
+  d.program_ = std::move(encoded.program);
+  for (Rule& rule : sup.program.rules) {
+    d.program_.rules.push_back(std::move(rule));
+  }
+  d.supervisor_ = d.ctx_->symbols().Name(sup.supervisor);
+  d.observed_peers_ = sup.observed_peers;
+  for (const std::string& peer : d.observed_peers_) d.counts_[peer] = 0;
+  return d;
+}
+
+StatusOr<std::vector<Explanation>> OnlineDiagnoser::Observe(
+    const petri::Alarm& alarm) {
+  auto it = counts_.find(alarm.peer);
+  if (it == counts_.end()) {
+    return InvalidArgumentError("alarm from unknown peer " + alarm.peer);
+  }
+  // One new chain edge: st_p_i --a--> st_p_{i+1}.
+  RuleBuilder b(ctx_.get());
+  uint32_t i = it->second;
+  program_.rules.push_back(b.Build(
+      b.MakeAtom("aedge_" + alarm.peer, supervisor_,
+                 {b.C(StateConst(alarm.peer, i)), b.C("al_" + alarm.symbol),
+                  b.C(StateConst(alarm.peer, i + 1))}),
+      {}));
+  ++it->second;
+  ++step_;
+  has_current_ = false;
+  return Solve();
+}
+
+StatusOr<std::vector<Explanation>> OnlineDiagnoser::Current() {
+  if (has_current_) return current_explanations_;
+  return Solve();
+}
+
+StatusOr<std::vector<Explanation>> OnlineDiagnoser::Solve() {
+  // Versioned query: q_<step>(Z, X) :- cfgp(Z, W, Y, st_p1_c1, ...,
+  // st_pm_cm), inconf(Z, X) — the automaton positions are inlined
+  // constants, so the demand is fully bound on the index columns.
+  RuleBuilder b(ctx_.get());
+  const std::string qname = "q_" + std::to_string(step_);
+  std::vector<Pattern> cfgp_args{b.V("Z"), b.V("W"), b.V("Y")};
+  for (const std::string& peer : observed_peers_) {
+    cfgp_args.push_back(b.C(StateConst(peer, counts_.at(peer))));
+  }
+  Atom head = b.MakeAtom(qname, supervisor_, {b.V("Z"), b.V("X")});
+  Atom cfgp = b.MakeAtom("cfgp", supervisor_, std::move(cfgp_args));
+  Atom inconf = b.MakeAtom("inconf", supervisor_, {b.V("Z"), b.V("X")});
+  program_.rules.push_back(
+      b.Build(std::move(head), {std::move(cfgp), std::move(inconf)}));
+
+  ParsedQuery query;
+  query.num_vars = 2;
+  query.var_names = {"Z", "X"};
+  query.atom.rel.pred = ctx_->InternPredicate(qname, 2);
+  query.atom.rel.peer = ctx_->symbols().Intern(supervisor_);
+  query.atom.args = {Pattern::Var(0), Pattern::Var(1)};
+
+  EvalOptions eopts;
+  eopts.max_facts = options_.max_facts;
+  const size_t before = db_->TotalFacts();
+  DQSQ_ASSIGN_OR_RETURN(
+      QueryResult qres,
+      SolveQuery(program_, *db_, query, Strategy::kQsq, eopts));
+  last_new_facts_ = db_->TotalFacts() - before;
+
+  std::map<TermId, std::vector<std::string>> by_config;
+  for (const Tuple& row : qres.answers) {
+    auto& events = by_config[row[0]];
+    std::string term = ctx_->arena().ToString(row[1], ctx_->symbols());
+    if (term != "r") events.push_back(std::move(term));
+  }
+  std::vector<Explanation> out;
+  for (auto& [z, events] : by_config) {
+    out.push_back(Explanation{std::move(events)});
+  }
+  current_explanations_ = Canonicalize(std::move(out));
+  has_current_ = true;
+  return current_explanations_;
+}
+
+}  // namespace dqsq::diagnosis

@@ -1,0 +1,105 @@
+#include "dist/cluster.h"
+
+#include <set>
+
+namespace dqsq::dist {
+
+Status RootNode::OnMessage(const Message& message, SimNetwork& network) {
+  if (message.kind == MessageKind::kAck) {
+    ds_.OnReceiveAck();
+    if (ds_.TryDisengage()) terminated_ = true;
+    return Status::Ok();
+  }
+  // The root receives no data in these protocols, but DS requires every
+  // basic message to be acknowledged.
+  if (ds_.OnReceiveBasic(message.from)) {
+    Message ack;
+    ack.kind = MessageKind::kAck;
+    ack.from = id_;
+    ack.to = message.from;
+    network.Send(std::move(ack));
+  }
+  return Status::Ok();
+}
+
+Cluster::Cluster(DatalogContext& ctx, const Program& program,
+                 const ParsedQuery& query, uint64_t seed,
+                 const EvalOptions& eval_options, Mode mode)
+    : network_(seed) {
+  std::set<SymbolId> peer_ids;
+  peer_ids.insert(query.atom.rel.peer);
+  for (const Rule& rule : program.rules) {
+    peer_ids.insert(rule.head.rel.peer);
+    for (const Atom& atom : rule.body) peer_ids.insert(atom.rel.peer);
+  }
+  for (SymbolId id : peer_ids) {
+    auto peer = std::make_unique<DatalogPeer>(id, &ctx, eval_options);
+    network_.Register(id, peer.get());
+    peers_.emplace(id, std::move(peer));
+  }
+  root_ = std::make_unique<RootNode>(ctx.symbols().Intern("ds_root"));
+  network_.Register(root_->id(), root_.get());
+  for (const Rule& rule : program.rules) {
+    DatalogPeer& owner = *peers_.at(rule.head.rel.peer);
+    if (rule.IsFact()) {
+      // Ground facts are extensional data, loaded directly.
+      std::vector<TermId> tuple;
+      for (const Pattern& p : rule.head.args) {
+        tuple.push_back(GroundPattern(p, Substitution(), ctx.arena()));
+      }
+      owner.AddFact(rule.head.rel, tuple);
+    } else if (mode == Mode::kEvaluate) {
+      owner.InstallRule(rule);
+    } else {
+      owner.InstallSourceRule(rule);
+    }
+  }
+}
+
+Status Cluster::RunUntilTermination(size_t max_steps) {
+  for (size_t i = 0; i < max_steps; ++i) {
+    if (root_->terminated()) {
+      if (!network_.Quiescent()) {
+        return InternalError(
+            "Dijkstra-Scholten detected termination on a non-quiescent "
+            "network (safety violation)");
+      }
+      return Status::Ok();
+    }
+    DQSQ_ASSIGN_OR_RETURN(bool delivered, network_.Step());
+    if (!delivered) {
+      return InternalError(
+          "network quiesced before the root detected termination (lost "
+          "acknowledgment)");
+    }
+  }
+  return ResourceExhaustedError("network did not terminate within budget");
+}
+
+size_t Cluster::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& [id, peer] : peers_) total += peer->db().TotalFacts();
+  return total;
+}
+
+std::map<std::string, size_t> Cluster::RelationCounts() const {
+  std::map<std::string, size_t> out;
+  for (const auto& [id, peer] : peers_) {
+    const Database& db = peer->db();
+    for (const RelId& rel : db.Relations()) {
+      out[db.ctx().PredicateName(rel.pred)] += db.Find(rel)->size();
+    }
+  }
+  return out;
+}
+
+size_t Cluster::CountFactsMatching(
+    const std::function<bool(const std::string&)>& filter) const {
+  size_t total = 0;
+  for (const auto& [id, peer] : peers_) {
+    total += peer->db().CountFactsMatching(filter);
+  }
+  return total;
+}
+
+}  // namespace dqsq::dist

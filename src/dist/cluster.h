@@ -1,0 +1,84 @@
+// Shared driver plumbing: builds a simulated cluster of DatalogPeers from
+// a distributed program (rules and facts installed at the peers owning
+// their heads) and aggregates cross-peer statistics.
+#ifndef DQSQ_DIST_CLUSTER_H_
+#define DQSQ_DIST_CLUSTER_H_
+
+#include <map>
+#include <memory>
+
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "dist/network.h"
+#include "dist/peer.h"
+#include "dist/termination.h"
+
+namespace dqsq::dist {
+
+/// The driver's endpoint in the network: the root of the Dijkstra–Scholten
+/// diffusing computation. It only sends the initial demand and collects
+/// acknowledgments; global termination is detected when it is passive with
+/// deficit zero — without any god's-eye view of the channels.
+class RootNode : public PeerNode {
+ public:
+  explicit RootNode(SymbolId id) : id_(id), ds_(/*is_root=*/true) {}
+
+  SymbolId id() const { return id_; }
+  bool terminated() const { return terminated_; }
+
+  /// Sends a basic message on behalf of the driver.
+  void SendBasic(Message message, SimNetwork& network) {
+    ds_.OnSendBasic();
+    network.Send(std::move(message));
+  }
+
+  Status OnMessage(const Message& message, SimNetwork& network) override;
+
+ private:
+  SymbolId id_;
+  DsNode ds_;
+  bool terminated_ = false;
+};
+
+class Cluster {
+ public:
+  enum class Mode {
+    kEvaluate,    // dnaive: rules evaluated bottom-up at their head peer
+    kSourceOnly,  // dQSQ: rules feed demand-driven rewriting only
+  };
+
+  /// Creates one peer per peer name occurring in `program` or `query`.
+  /// Ground facts load into the owning peer's database; proper rules are
+  /// installed according to `mode`.
+  Cluster(DatalogContext& ctx, const Program& program,
+          const ParsedQuery& query, uint64_t seed,
+          const EvalOptions& eval_options, Mode mode);
+
+  SimNetwork& network() { return network_; }
+  DatalogPeer& peer(SymbolId id) { return *peers_.at(id); }
+  bool has_peer(SymbolId id) const { return peers_.contains(id); }
+  RootNode& root() { return *root_; }
+
+  /// Delivers messages until the root's Dijkstra–Scholten detection fires
+  /// (or `max_steps` deliveries). On success the network is also checked
+  /// to be quiescent — the algorithm's safety property, verified on every
+  /// run.
+  Status RunUntilTermination(size_t max_steps);
+
+  size_t num_peers() const { return peers_.size(); }
+  size_t TotalFacts() const;
+  /// Facts per predicate name, summed across peers.
+  std::map<std::string, size_t> RelationCounts() const;
+  /// Sum over peers of facts whose predicate passes `filter`.
+  size_t CountFactsMatching(
+      const std::function<bool(const std::string&)>& filter) const;
+
+ private:
+  SimNetwork network_;
+  std::unique_ptr<RootNode> root_;
+  std::map<SymbolId, std::unique_ptr<DatalogPeer>> peers_;
+};
+
+}  // namespace dqsq::dist
+
+#endif  // DQSQ_DIST_CLUSTER_H_

@@ -1,0 +1,67 @@
+#include "dist/dnaive.h"
+
+#include <unordered_set>
+
+#include "dist/cluster.h"
+
+namespace dqsq::dist {
+
+namespace {
+
+// IDB relation names of the original program (for answer-fact accounting).
+std::unordered_set<std::string> IdbNames(const Program& program,
+                                         const DatalogContext& ctx) {
+  std::unordered_set<std::string> names;
+  for (const Rule& rule : program.rules) {
+    if (!rule.IsFact()) names.insert(ctx.PredicateName(rule.head.rel.pred));
+  }
+  return names;
+}
+
+}  // namespace
+
+StatusOr<DistResult> DistNaiveSolve(DatalogContext& ctx,
+                                    const Program& program,
+                                    const ParsedQuery& query,
+                                    const DistOptions& options) {
+  DQSQ_RETURN_IF_ERROR(ValidateProgram(program, ctx));
+  for (const Rule& rule : program.rules) {
+    if (!rule.negative.empty()) {
+      return UnimplementedError(
+          "distributed evaluation supports positive dDatalog only: global "
+          "stratification cannot be enforced per-message (paper Remark 4)");
+    }
+  }
+  Cluster cluster(ctx, program, query, options.seed, options.eval,
+                  Cluster::Mode::kEvaluate);
+
+  // The driver seeds the computation as the root of a Dijkstra-Scholten
+  // diffusing computation: it sends the activation request and then just
+  // delivers messages until its own deficit hits zero — no god's-eye view
+  // of the channels is needed to know the fixpoint has been reached.
+  DatalogPeer& owner = cluster.peer(query.atom.rel.peer);
+  {
+    Message m;
+    m.kind = MessageKind::kActivate;
+    m.from = cluster.root().id();
+    m.to = query.atom.rel.peer;
+    m.rel = query.atom.rel;
+    m.subscriber = query.atom.rel.peer;  // self: activation only
+    cluster.root().SendBasic(std::move(m), cluster.network());
+  }
+  DQSQ_RETURN_IF_ERROR(
+      cluster.RunUntilTermination(options.max_network_steps));
+
+  DistResult result;
+  result.answers = Ask(owner.db(), query.atom, query.num_vars);
+  result.net_stats = cluster.network().stats();
+  result.total_facts = cluster.TotalFacts();
+  auto idb = IdbNames(program, ctx);
+  result.answer_facts = cluster.CountFactsMatching(
+      [&](const std::string& name) { return idb.contains(name); });
+  result.num_peers = cluster.num_peers();
+  result.relation_counts = cluster.RelationCounts();
+  return result;
+}
+
+}  // namespace dqsq::dist

@@ -1,0 +1,91 @@
+#include "dist/dqsq.h"
+
+#include <unordered_set>
+
+#include "datalog/adornment.h"
+#include "datalog/qsq_rewrite.h"
+#include "dist/cluster.h"
+
+namespace dqsq::dist {
+
+StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
+                                  const ParsedQuery& query,
+                                  const DistOptions& options) {
+  DQSQ_RETURN_IF_ERROR(ValidateProgram(program, ctx));
+  for (const Rule& rule : program.rules) {
+    if (!rule.negative.empty()) {
+      return UnimplementedError(
+          "distributed evaluation supports positive dDatalog only: global "
+          "stratification cannot be enforced per-message (paper Remark 4)");
+    }
+  }
+  Cluster cluster(ctx, program, query, options.seed, options.eval,
+                  Cluster::Mode::kSourceOnly);
+
+  const RelId query_rel = query.atom.rel;
+  Adornment adornment = QueryAdornment(query.atom);
+  const std::string& base = ctx.PredicateName(query_rel.pred);
+
+  // Interface relations of the query's call pattern.
+  uint32_t bound = 0;
+  for (bool b : adornment) bound += b ? 1 : 0;
+  PredicateId in_pred =
+      ctx.InternPredicate(InputPredName(base, adornment), bound);
+  PredicateId ans_pred = ctx.InternPredicate(
+      AnswerPredName(base, adornment), ctx.PredicateArity(query_rel.pred));
+  RelId input_rel{in_pred, query_rel.peer};
+  RelId answer_rel{ans_pred, query_rel.peer};
+
+  // Pose the query at the owner as the Dijkstra-Scholten root: a subquery
+  // message carrying the call pattern, then the bound arguments (FIFO on
+  // the same channel keeps them ordered). Termination is detected by the
+  // root's deficit, not by inspecting the channels.
+  DatalogPeer& owner = cluster.peer(query_rel.peer);
+  {
+    Message sub;
+    sub.kind = MessageKind::kSubquery;
+    sub.from = cluster.root().id();
+    sub.to = query_rel.peer;
+    sub.rel = query_rel;
+    sub.adornment = adornment;
+    cluster.root().SendBasic(std::move(sub), cluster.network());
+  }
+  {
+    std::vector<TermId> seed;
+    for (size_t i = 0; i < query.atom.args.size(); ++i) {
+      if (!adornment[i]) continue;
+      seed.push_back(
+          GroundPattern(query.atom.args[i], Substitution(), ctx.arena()));
+    }
+    Message data;
+    data.kind = MessageKind::kTuples;
+    data.from = cluster.root().id();
+    data.to = query_rel.peer;
+    data.rel = input_rel;
+    data.tuples.push_back(std::move(seed));
+    cluster.root().SendBasic(std::move(data), cluster.network());
+  }
+  DQSQ_RETURN_IF_ERROR(
+      cluster.RunUntilTermination(options.max_network_steps));
+
+  DistResult result;
+  Atom answer_query{answer_rel, query.atom.args};
+  result.answers = Ask(owner.db(), answer_query, query.num_vars);
+  result.net_stats = cluster.network().stats();
+  result.total_facts = cluster.TotalFacts();
+
+  // Adorned-answer facts across peers: relations named "X__<adornment>"
+  // that are neither sup/in bookkeeping nor inputs.
+  result.answer_facts = cluster.CountFactsMatching(
+      [&](const std::string& name) {
+        if (name.rfind("in__", 0) == 0) return false;
+        if (name.find("sup__") != std::string::npos) return false;
+        if (name.find("supall__") != std::string::npos) return false;
+        return name.find("__") != std::string::npos;
+      });
+  result.num_peers = cluster.num_peers();
+  result.relation_counts = cluster.RelationCounts();
+  return result;
+}
+
+}  // namespace dqsq::dist

@@ -1,0 +1,47 @@
+#include "dist/global.h"
+
+namespace dqsq::dist {
+
+namespace {
+
+Atom TranslateAtom(const Atom& atom, DatalogContext& ctx) {
+  Atom out;
+  out.rel.pred = ctx.InternPredicate(
+      ctx.PredicateName(atom.rel.pred) + "_g",
+      static_cast<uint32_t>(atom.args.size()) + 1);
+  out.rel.peer = ctx.local_peer();
+  out.args = atom.args;
+  out.args.push_back(Pattern::Const(atom.rel.peer));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Program> GlobalProgram(const Program& program, DatalogContext& ctx) {
+  DQSQ_RETURN_IF_ERROR(ValidateProgram(program, ctx));
+  Program out;
+  for (const Rule& rule : program.rules) {
+    Rule translated;
+    translated.head = TranslateAtom(rule.head, ctx);
+    for (const Atom& atom : rule.body) {
+      translated.body.push_back(TranslateAtom(atom, ctx));
+    }
+    translated.diseqs = rule.diseqs;
+    translated.num_vars = rule.num_vars;
+    translated.var_names = rule.var_names;
+    out.rules.push_back(std::move(translated));
+  }
+  DQSQ_RETURN_IF_ERROR(ValidateProgram(out, ctx));
+  return out;
+}
+
+StatusOr<ParsedQuery> GlobalQuery(const ParsedQuery& query,
+                                  DatalogContext& ctx) {
+  ParsedQuery out;
+  out.atom = TranslateAtom(query.atom, ctx);
+  out.num_vars = query.num_vars;
+  out.var_names = query.var_names;
+  return out;
+}
+
+}  // namespace dqsq::dist

@@ -1,0 +1,27 @@
+// The canonical translation P ↦ P^g of a distributed program into a plain
+// Datalog program (paper §3, "Models and Semantics"): every n-ary R@p atom
+// becomes an (n+1)-ary R_g atom whose extra argument is the peer-name
+// constant. The semantics of P is the minimal model of P^g; the test suite
+// uses this to validate that the distributed engines compute exactly the
+// centralized semantics.
+#ifndef DQSQ_DIST_GLOBAL_H_
+#define DQSQ_DIST_GLOBAL_H_
+
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+
+namespace dqsq::dist {
+
+/// Builds P^g. Every relation R of arity n maps to "R_g" of arity n+1 with
+/// the peer appended as last argument; all atoms of P^g live at the local
+/// peer.
+StatusOr<Program> GlobalProgram(const Program& program, DatalogContext& ctx);
+
+/// Translates a query atom the same way.
+StatusOr<ParsedQuery> GlobalQuery(const ParsedQuery& query,
+                                  DatalogContext& ctx);
+
+}  // namespace dqsq::dist
+
+#endif  // DQSQ_DIST_GLOBAL_H_

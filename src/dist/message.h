@@ -1,0 +1,39 @@
+// Messages exchanged by dDatalog peers over the simulated asynchronous
+// network. Four kinds: tuple batches (data flow), relation activation
+// requests with a subscription (distributed naive evaluation, paper §3.1),
+// subquery requests carrying a call pattern (dQSQ demand propagation,
+// §3.2), rule installations (the shipped "remainder" rules of rule (†)),
+// plus acknowledgments for Dijkstra-Scholten termination detection.
+#ifndef DQSQ_DIST_MESSAGE_H_
+#define DQSQ_DIST_MESSAGE_H_
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/relation.h"
+
+namespace dqsq::dist {
+
+enum class MessageKind {
+  kTuples,     // data for `rel` (owned by the receiver or a replica there)
+  kActivate,   // activate `rel`; stream its tuples to `subscriber`
+  kSubquery,   // demand for the call pattern (rel, adornment)
+  kInstall,    // install `rules` at the receiver (their bodies are local)
+  kAck,        // termination-detection acknowledgment
+};
+
+struct Message {
+  MessageKind kind;
+  SymbolId from = 0;
+  SymbolId to = 0;
+
+  RelId rel;                     // kTuples / kActivate / kSubquery
+  std::vector<Tuple> tuples;     // kTuples
+  SymbolId subscriber = 0;       // kActivate
+  std::vector<bool> adornment;   // kSubquery
+  std::vector<Rule> rules;       // kInstall
+};
+
+}  // namespace dqsq::dist
+
+#endif  // DQSQ_DIST_MESSAGE_H_

@@ -1,0 +1,59 @@
+#include "dist/network.h"
+
+#include "common/logging.h"
+
+namespace dqsq::dist {
+
+void SimNetwork::Register(SymbolId id, PeerNode* peer) {
+  DQSQ_CHECK(peers_.emplace(id, peer).second) << "duplicate peer id " << id;
+}
+
+void SimNetwork::Send(Message message) {
+  DQSQ_CHECK(peers_.contains(message.to))
+      << "send to unregistered peer " << message.to;
+  auto key = std::make_pair(message.from, message.to);
+  channels_[key].push_back(std::move(message));
+}
+
+StatusOr<bool> SimNetwork::Step() {
+  // Collect non-empty channels, pick one uniformly.
+  std::vector<std::deque<Message>*> nonempty;
+  for (auto& [key, channel] : channels_) {
+    if (!channel.empty()) nonempty.push_back(&channel);
+  }
+  if (nonempty.empty()) return false;
+  auto* channel = nonempty[rng_.NextBelow(nonempty.size())];
+  Message message = std::move(channel->front());
+  channel->pop_front();
+
+  ++stats_.messages_delivered;
+  if (message.kind == MessageKind::kTuples) {
+    stats_.tuples_shipped += message.tuples.size();
+  } else {
+    ++stats_.control_messages;
+    if (message.kind == MessageKind::kInstall) {
+      stats_.rules_shipped += message.rules.size();
+    }
+  }
+
+  PeerNode* peer = peers_.at(message.to);
+  DQSQ_RETURN_IF_ERROR(peer->OnMessage(message, *this));
+  return true;
+}
+
+Status SimNetwork::RunToQuiescence(size_t max_steps) {
+  for (size_t i = 0; i < max_steps; ++i) {
+    DQSQ_ASSIGN_OR_RETURN(bool delivered, Step());
+    if (!delivered) return Status::Ok();
+  }
+  return ResourceExhaustedError("network did not quiesce within budget");
+}
+
+bool SimNetwork::Quiescent() const {
+  for (const auto& [key, channel] : channels_) {
+    if (!channel.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace dqsq::dist

@@ -1,0 +1,69 @@
+// Simulated asynchronous peer-to-peer network. Channels are FIFO per
+// ordered peer pair (the paper's per-peer alarm-order assumption is the
+// same property); the cross-channel delivery order is chosen by a seeded
+// RNG, modeling arbitrary asynchrony deterministically. Message and tuple
+// accounting feeds the communication experiments (E3).
+#ifndef DQSQ_DIST_NETWORK_H_
+#define DQSQ_DIST_NETWORK_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dist/message.h"
+
+namespace dqsq::dist {
+
+class PeerNode;
+
+struct NetworkStats {
+  size_t messages_delivered = 0;
+  size_t tuples_shipped = 0;     // sum of kTuples payload sizes
+  size_t control_messages = 0;   // activate/subquery/install/ack
+  size_t rules_shipped = 0;      // total rules in kInstall messages
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(uint64_t seed) : rng_(seed) {}
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Registers a peer; the network does not own it.
+  void Register(SymbolId id, PeerNode* peer);
+
+  /// Enqueues a message on the (from, to) FIFO channel.
+  void Send(Message message);
+
+  /// Delivers one message from a randomly chosen non-empty channel.
+  /// Returns false if every channel is empty.
+  StatusOr<bool> Step();
+
+  /// Delivers messages until quiescence (no in-flight messages — the
+  /// "god's view" fixpoint of §3.1) or until `max_steps` deliveries.
+  Status RunToQuiescence(size_t max_steps = 10'000'000);
+
+  bool Quiescent() const;
+  const NetworkStats& stats() const { return stats_; }
+  size_t num_peers() const { return peers_.size(); }
+
+ private:
+  Rng rng_;
+  std::map<SymbolId, PeerNode*> peers_;
+  std::map<std::pair<SymbolId, SymbolId>, std::deque<Message>> channels_;
+  NetworkStats stats_;
+};
+
+/// Interface implemented by dDatalog peers (and test doubles).
+class PeerNode {
+ public:
+  virtual ~PeerNode() = default;
+  /// Handles one delivered message; may Send on `network`.
+  virtual Status OnMessage(const Message& message, SimNetwork& network) = 0;
+};
+
+}  // namespace dqsq::dist
+
+#endif  // DQSQ_DIST_NETWORK_H_

@@ -1,0 +1,296 @@
+#include "dist/peer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "datalog/qsq_rewrite.h"
+
+namespace dqsq::dist {
+
+DatalogPeer::DatalogPeer(SymbolId id, DatalogContext* ctx,
+                         EvalOptions eval_options)
+    : id_(id), ctx_(ctx), eval_options_(eval_options), db_(ctx) {}
+
+void DatalogPeer::InstallRule(const Rule& rule) {
+  program_.rules.push_back(rule);
+}
+
+void DatalogPeer::InstallSourceRule(const Rule& rule) {
+  source_rules_.rules.push_back(rule);
+}
+
+void DatalogPeer::AddFact(const RelId& rel, std::span<const TermId> tuple) {
+  db_.Insert(rel, tuple);
+}
+
+bool DatalogPeer::HasRulesFor(const RelId& rel) const {
+  for (const Rule& r : source_rules_.rules) {
+    if (r.head.rel == rel) return true;
+  }
+  for (const Rule& r : program_.rules) {
+    if (r.head.rel == rel) return true;
+  }
+  return false;
+}
+
+Status DatalogPeer::OnMessage(const Message& message, SimNetwork& network) {
+  if (message.kind == MessageKind::kAck) {
+    ds_.OnReceiveAck();
+    MaybeDisengage(network);
+    return Status::Ok();
+  }
+  // Basic message: engage (deferring the ack to disengagement) or ack
+  // immediately when already engaged.
+  bool ack_now = ds_.OnReceiveBasic(message.from);
+  Status status = Dispatch(message, network);
+  if (ack_now) SendAck(message.from, network);
+  MaybeDisengage(network);
+  return status;
+}
+
+Status DatalogPeer::Dispatch(const Message& message, SimNetwork& network) {
+  switch (message.kind) {
+    case MessageKind::kTuples: {
+      bool remote_owned = message.rel.peer != id_;
+      for (const Tuple& t : message.tuples) {
+        if (db_.Insert(message.rel, t) && remote_owned) {
+          received_[message.rel].insert(t);
+        }
+      }
+      return RunFixpointAndFlush(network);
+    }
+    case MessageKind::kActivate:
+      DQSQ_RETURN_IF_ERROR(
+          Activate(message.rel, message.subscriber,
+                   /*has_subscriber=*/true, network));
+      return RunFixpointAndFlush(network);
+    case MessageKind::kSubquery:
+      DQSQ_RETURN_IF_ERROR(OnSubquery(message.rel, message.adornment,
+                                      network));
+      return RunFixpointAndFlush(network);
+    case MessageKind::kInstall:
+      for (const Rule& rule : message.rules) InstallRule(rule);
+      return RunFixpointAndFlush(network);
+    case MessageKind::kAck:
+      return InternalError("ack handled before dispatch");
+  }
+  return InternalError("unknown message kind");
+}
+
+Status DatalogPeer::Activate(const RelId& rel, SymbolId subscriber,
+                             bool has_subscriber, SimNetwork& network) {
+  DQSQ_CHECK_EQ(rel.peer, id_) << "activation routed to the wrong peer";
+  if (has_subscriber && subscriber != id_) {
+    subscribers_[rel].insert(subscriber);
+    FlushRelationTo(rel, subscriber, network);
+  }
+  if (active_.contains(rel)) return Status::Ok();
+  active_.insert(rel);
+  for (const Rule& rule : program_.rules) {
+    if (!(rule.head.rel == rel)) continue;
+    for (const Atom& atom : rule.body) {
+      if (atom.rel.peer == id_) {
+        DQSQ_RETURN_IF_ERROR(
+            Activate(atom.rel, id_, /*has_subscriber=*/false, network));
+      } else {
+        Message m;
+        m.kind = MessageKind::kActivate;
+        m.from = id_;
+        m.to = atom.rel.peer;
+        m.rel = atom.rel;
+        m.subscriber = id_;
+        SendBasic(std::move(m), network);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status DatalogPeer::OnSubquery(const RelId& rel, const Adornment& adornment,
+                               SimNetwork& network) {
+  DQSQ_CHECK_EQ(rel.peer, id_) << "subquery routed to the wrong peer";
+  return RewriteForPattern(rel, adornment, network);
+}
+
+Status DatalogPeer::RewriteForPattern(const RelId& rel,
+                                      const Adornment& adornment,
+                                      SimNetwork& network) {
+  auto key = std::make_pair(rel.pred, adornment);
+  if (rewritten_.contains(key)) return Status::Ok();  // reuse machinery
+  rewritten_.insert(key);
+
+  const std::string& base = ctx_->PredicateName(rel.pred);
+  uint32_t arity = ctx_->PredicateArity(rel.pred);
+
+  {
+    // Bridge stored facts of the relation into the adorned answers:
+    //   R__a(v1..vn) :- in__R__a(v_bound...), R(v1..vn).
+    // This serves purely extensional relations and the extensional part of
+    // mixed ones; for rule-only relations R@self is empty and the bridge
+    // is inert.
+    Rule bridge;
+    bridge.num_vars = arity;
+    for (uint32_t i = 0; i < arity; ++i) {
+      bridge.var_names.push_back("V" + std::to_string(i));
+    }
+    std::vector<Pattern> all_vars;
+    std::vector<Pattern> bound_vars;
+    for (uint32_t i = 0; i < arity; ++i) {
+      all_vars.push_back(Pattern::Var(i));
+      if (adornment[i]) bound_vars.push_back(Pattern::Var(i));
+    }
+    PredicateId ans = ctx_->InternPredicate(AnswerPredName(base, adornment),
+                                            arity);
+    PredicateId in = ctx_->InternPredicate(
+        InputPredName(base, adornment),
+        static_cast<uint32_t>(bound_vars.size()));
+    bridge.head = Atom{RelId{ans, id_}, all_vars};
+    bridge.body.push_back(Atom{RelId{in, id_}, std::move(bound_vars)});
+    bridge.body.push_back(Atom{rel, std::move(all_vars)});
+    InstallRule(bridge);
+  }
+  if (!HasRulesFor(rel)) return Status::Ok();
+
+  // Adorn this peer's rules for the pattern — only local knowledge is
+  // used (the paper's dQSQ locality property).
+  AdornedProgram adorned;
+  std::vector<std::pair<RelId, Adornment>> propagate;
+  for (size_t idx = 0; idx < source_rules_.rules.size(); ++idx) {
+    const Rule& rule = source_rules_.rules[idx];
+    if (!(rule.head.rel == rel)) continue;
+    AdornedRule ar;
+    ar.rule = &source_rules_.rules[idx];
+    ar.rule_index = idx;
+    ar.head_adornment = adornment;
+    std::vector<bool> bound_vars(rule.num_vars, false);
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      if (!adornment[i]) continue;
+      std::vector<VarId> vars;
+      rule.head.args[i].CollectVars(&vars);
+      for (VarId v : vars) bound_vars[v] = true;
+    }
+    for (const Atom& atom : rule.body) {
+      Adornment a = AdornAtom(atom, bound_vars);
+      // Local atoms are intensional iff this peer defines them; remote
+      // atoms are demanded via subqueries either way (their owner bridges
+      // extensional relations).
+      bool idb = atom.rel.peer != id_ || HasRulesFor(atom.rel);
+      ar.body_adornments.push_back(a);
+      ar.body_is_idb.push_back(idb);
+      if (idb) propagate.emplace_back(atom.rel, a);
+      std::vector<VarId> vars;
+      for (const Pattern& p : atom.args) p.CollectVars(&vars);
+      for (VarId v : vars) bound_vars[v] = true;
+    }
+    adorned.rules.push_back(std::move(ar));
+  }
+
+  QsqOptions qopts;
+  qopts.distribute_sups = true;
+  qopts.sup_prefix = ctx_->symbols().Name(id_) + "_";
+  DQSQ_ASSIGN_OR_RETURN(
+      RewriteResult rewrite,
+      QsqRewrite(adorned, rel, adornment, *ctx_, qopts));
+
+  // Keep local-body rules; ship each remainder to the peer owning its
+  // body (the paper's rule (†)).
+  std::map<SymbolId, std::vector<Rule>> remote;
+  for (Rule& rule : rewrite.program.rules) {
+    DQSQ_CHECK(!rule.body.empty());
+    SymbolId body_peer = rule.body[0].rel.peer;
+    if (body_peer == id_) {
+      InstallRule(rule);
+    } else {
+      remote[body_peer].push_back(std::move(rule));
+    }
+  }
+  for (auto& [peer, rules] : remote) {
+    Message m;
+    m.kind = MessageKind::kInstall;
+    m.from = id_;
+    m.to = peer;
+    m.rules = std::move(rules);
+    SendBasic(std::move(m), network);
+  }
+
+  // Propagate demand for callee call patterns.
+  for (const auto& [callee, a] : propagate) {
+    if (callee.peer == id_) {
+      DQSQ_RETURN_IF_ERROR(RewriteForPattern(callee, a, network));
+    } else {
+      Message m;
+      m.kind = MessageKind::kSubquery;
+      m.from = id_;
+      m.to = callee.peer;
+      m.rel = callee;
+      m.adornment = a;
+      SendBasic(std::move(m), network);
+    }
+  }
+  return Status::Ok();
+}
+
+Status DatalogPeer::RunFixpointAndFlush(SimNetwork& network) {
+  DQSQ_RETURN_IF_ERROR(Evaluate(program_, db_, eval_options_).status());
+  // Stream owned relations to their subscribers (dnaive data flow).
+  for (const auto& [rel, subs] : subscribers_) {
+    for (SymbolId target : subs) FlushRelationTo(rel, target, network);
+  }
+  // Ship derived tuples of remote-owned relations to their owner (dQSQ
+  // binding/answer flow and remainder-rule heads).
+  for (const RelId& rel : db_.Relations()) {
+    if (rel.peer != id_) FlushRelationTo(rel, rel.peer, network);
+  }
+  return Status::Ok();
+}
+
+void DatalogPeer::FlushRelationTo(const RelId& rel, SymbolId target,
+                                  SimNetwork& network) {
+  if (target == id_) return;
+  const Relation* relation = db_.Find(rel);
+  if (relation == nullptr) return;
+  size_t& watermark = shipped_[{rel, target}];
+  if (watermark >= relation->size()) return;
+  const std::set<Tuple>* skip = nullptr;
+  if (rel.peer == target) {
+    auto it = received_.find(rel);
+    if (it != received_.end()) skip = &it->second;
+  }
+  Message m;
+  m.kind = MessageKind::kTuples;
+  m.from = id_;
+  m.to = target;
+  m.rel = rel;
+  for (size_t row = watermark; row < relation->size(); ++row) {
+    auto r = relation->Row(row);
+    Tuple t(r.begin(), r.end());
+    if (skip != nullptr && skip->contains(t)) continue;
+    m.tuples.push_back(std::move(t));
+  }
+  watermark = relation->size();
+  if (!m.tuples.empty()) SendBasic(std::move(m), network);
+}
+
+void DatalogPeer::SendBasic(Message message, SimNetwork& network) {
+  ds_.OnSendBasic();
+  network.Send(std::move(message));
+}
+
+void DatalogPeer::SendAck(SymbolId target, SimNetwork& network) {
+  Message ack;
+  ack.kind = MessageKind::kAck;
+  ack.from = id_;
+  ack.to = target;
+  network.Send(std::move(ack));
+}
+
+void DatalogPeer::MaybeDisengage(SimNetwork& network) {
+  // Our peers are passive whenever they are not processing a message, so
+  // a zero deficit lets them disengage and ack the tree parent.
+  if (ds_.TryDisengage()) {
+    DQSQ_CHECK_NE(ds_.parent(), kNoNode);
+    SendAck(ds_.parent(), network);
+  }
+}
+
+}  // namespace dqsq::dist

@@ -1,0 +1,137 @@
+// A dDatalog peer: hosts the rules whose heads live at this peer (paper
+// §3), evaluates installed rules over its local database to a fixpoint
+// whenever new information arrives, and ships derived tuples whose head
+// relation is owned elsewhere. Two demand protocols run over the same
+// machinery:
+//
+//  * distributed naive evaluation (§3.1): activation requests propagate
+//    through rule bodies; remote body relations are subscribed to and
+//    replicated locally, so every rule joins over local data;
+//  * dQSQ (§3.2): subquery requests carry a call pattern (R, adornment);
+//    the peer rewrites ITS OWN rules for that pattern — only local
+//    knowledge is needed — keeps the rewritten rules whose bodies are
+//    local, and ships each remainder rule to the peer owning its body
+//    (rule (†) of the paper). Binding flow (in_ relations) and answers then
+//    move as ordinary tuples.
+#ifndef DQSQ_DIST_PEER_H_
+#define DQSQ_DIST_PEER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "datalog/adornment.h"
+#include "datalog/database.h"
+#include "datalog/eval.h"
+#include "dist/network.h"
+#include "dist/termination.h"
+
+namespace dqsq::dist {
+
+class DatalogPeer : public PeerNode {
+ public:
+  DatalogPeer(SymbolId id, DatalogContext* ctx, EvalOptions eval_options);
+
+  SymbolId id() const { return id_; }
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  /// Installs a rule for evaluation (setup time or via kInstall). The
+  /// rule's head must be owned by this peer OR its body must be local.
+  void InstallRule(const Rule& rule);
+
+  /// Installs a source rule: input to demand-driven rewriting (dQSQ) but
+  /// never evaluated directly. dnaive installs rules with InstallRule;
+  /// dQSQ peers hold their original rules here and evaluate only the
+  /// rewritten ones.
+  void InstallSourceRule(const Rule& rule);
+
+  /// Adds a local extensional fact.
+  void AddFact(const RelId& rel, std::span<const TermId> tuple);
+
+  Status OnMessage(const Message& message, SimNetwork& network) override;
+
+  /// Dijkstra–Scholten state (peers start passive and unengaged; the
+  /// driver is the diffusing computation's root).
+  const DsNode& ds() const { return ds_; }
+
+  /// Entry point used by drivers: activate `rel` here (dnaive).
+  Status Activate(const RelId& rel, SymbolId subscriber, bool has_subscriber,
+                  SimNetwork& network);
+
+  /// Entry point used by drivers: process a subquery (dQSQ).
+  Status OnSubquery(const RelId& rel, const Adornment& adornment,
+                    SimNetwork& network);
+
+  /// Runs the local fixpoint and ships what must move. Drivers call this
+  /// once after seeding facts.
+  Status RunFixpointAndFlush(SimNetwork& network);
+
+  size_t num_installed_rules() const { return program_.rules.size(); }
+
+ private:
+  struct RelKeyLess {
+    bool operator()(const RelId& a, const RelId& b) const {
+      return a.pred != b.pred ? a.pred < b.pred : a.peer < b.peer;
+    }
+  };
+
+  /// Rows of `rel` not yet shipped to `target` are sent as kTuples.
+  void FlushRelationTo(const RelId& rel, SymbolId target,
+                       SimNetwork& network);
+
+  /// Sends a basic (non-ack) message, bumping the DS deficit.
+  void SendBasic(Message message, SimNetwork& network);
+
+  /// Sends an acknowledgment to `target`.
+  void SendAck(SymbolId target, SimNetwork& network);
+
+  /// Disengages (acking the tree parent) when passive with deficit 0.
+  void MaybeDisengage(SimNetwork& network);
+
+  /// Handles one basic message (kAck is handled by OnMessage).
+  Status Dispatch(const Message& message, SimNetwork& network);
+
+  /// True iff this peer has a source or evaluated rule whose head is
+  /// `rel` (source rules take precedence for rewriting decisions).
+  bool HasRulesFor(const RelId& rel) const;
+
+  /// Rewrites this peer's rules for the call pattern and distributes the
+  /// results (kInstall for remote bodies, recursive handling for local
+  /// subqueries, kSubquery for remote ones).
+  Status RewriteForPattern(const RelId& rel, const Adornment& adornment,
+                           SimNetwork& network);
+
+  SymbolId id_;
+  DatalogContext* ctx_;
+  DsNode ds_{/*is_root=*/false};
+  EvalOptions eval_options_;
+  Database db_;
+  Program program_;         // evaluated every fixpoint
+  Program source_rules_;    // rewriting input only (dQSQ)
+
+  std::set<RelId, RelKeyLess> active_;
+  std::map<RelId, std::set<SymbolId>, RelKeyLess> subscribers_;
+  // Ship watermark per (relation, target peer): rows below it were sent.
+  std::map<std::pair<RelId, SymbolId>,
+           size_t,
+           bool (*)(const std::pair<RelId, SymbolId>&,
+                    const std::pair<RelId, SymbolId>&)>
+      shipped_{[](const std::pair<RelId, SymbolId>& a,
+                  const std::pair<RelId, SymbolId>& b) {
+        if (a.first.pred != b.first.pred) return a.first.pred < b.first.pred;
+        if (a.first.peer != b.first.peer) return a.first.peer < b.first.peer;
+        return a.second < b.second;
+      }};
+  // Rows of remote-owned relations that were received (replicas) rather
+  // than derived — never shipped back to the owner.
+  std::map<RelId, std::set<Tuple>, RelKeyLess> received_;
+  // Call patterns already rewritten (pred + adornment; "the same machinery
+  // is reused" for repeated requests).
+  std::set<std::pair<PredicateId, Adornment>> rewritten_;
+};
+
+}  // namespace dqsq::dist
+
+#endif  // DQSQ_DIST_PEER_H_

@@ -1,0 +1,114 @@
+#include "dist/termination.h"
+
+namespace dqsq::dist {
+
+namespace {
+
+struct BasicMessage {
+  NodeId from;
+  NodeId to;
+  size_t spawn_budget;  // unused payload (kept for debuggability)
+};
+
+struct AckMessage {
+  NodeId from;
+  NodeId to;
+};
+
+}  // namespace
+
+StatusOr<DiffusionResult> RunDiffusingComputation(uint32_t num_nodes,
+                                                  size_t total_work,
+                                                  uint32_t max_fanout,
+                                                  uint64_t seed) {
+  if (num_nodes == 0) return InvalidArgumentError("need at least one node");
+  Rng rng(seed);
+  DiffusionResult result;
+
+  std::vector<DsNode> nodes;
+  nodes.reserve(num_nodes);
+  nodes.emplace_back(/*is_root=*/true);
+  for (uint32_t i = 1; i < num_nodes; ++i) nodes.emplace_back(false);
+  // Each node's pending local work (spawn budgets of accepted items).
+  std::vector<std::deque<size_t>> work(num_nodes);
+  std::deque<BasicMessage> basic_in_flight;
+  std::deque<AckMessage> acks_in_flight;
+  size_t work_spawned = 0;
+
+  // The root seeds itself with one work item.
+  work[0].push_back(max_fanout);
+  ++work_spawned;
+
+  size_t budget = 10'000'000;
+  while (budget-- > 0) {
+    // Nondeterministically pick an enabled action: execute work, deliver a
+    // basic message, or deliver an ack. Also let passive nodes disengage.
+    // Disengagement is checked eagerly for every node.
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (!work[n].empty()) continue;  // active
+      if (nodes[n].TryDisengage()) {
+        if (n == 0) {
+          result.detected = true;
+          result.quiescent_at_detection =
+              basic_in_flight.empty() && acks_in_flight.empty();
+          return result;
+        }
+        acks_in_flight.push_back(AckMessage{n, nodes[n].parent()});
+        ++result.ack_messages;
+      }
+    }
+
+    enum Action { kWork, kBasic, kAck };
+    std::vector<std::pair<Action, NodeId>> actions;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (!work[n].empty()) actions.push_back({kWork, n});
+    }
+    if (!basic_in_flight.empty()) actions.push_back({kBasic, 0});
+    if (!acks_in_flight.empty()) actions.push_back({kAck, 0});
+    if (actions.empty()) {
+      // Nothing runnable and the root did not detect termination: the
+      // protocol is stuck, which would be a bug.
+      return InternalError("diffusing computation wedged");
+    }
+    auto [action, node] = actions[rng.NextBelow(actions.size())];
+    switch (action) {
+      case kWork: {
+        work[node].pop_front();
+        ++result.work_items;
+        // Spawn 1..max_fanout children while global work remains, so the
+        // computation reliably reaches total_work items before draining.
+        size_t children = 1 + rng.NextBelow(max_fanout);
+        for (size_t c = 0; c < children && work_spawned < total_work; ++c) {
+          NodeId target = static_cast<NodeId>(rng.NextBelow(num_nodes));
+          nodes[node].OnSendBasic();
+          basic_in_flight.push_back(BasicMessage{node, target, 0});
+          ++result.basic_messages;
+          ++work_spawned;
+        }
+        break;
+      }
+      case kBasic: {
+        size_t pick = rng.NextBelow(basic_in_flight.size());
+        BasicMessage m = basic_in_flight[pick];
+        basic_in_flight.erase(basic_in_flight.begin() + pick);
+        bool ack_now = nodes[m.to].OnReceiveBasic(m.from);
+        if (ack_now) {
+          acks_in_flight.push_back(AckMessage{m.to, m.from});
+          ++result.ack_messages;
+        }
+        work[m.to].push_back(m.spawn_budget);
+        break;
+      }
+      case kAck: {
+        size_t pick = rng.NextBelow(acks_in_flight.size());
+        AckMessage m = acks_in_flight[pick];
+        acks_in_flight.erase(acks_in_flight.begin() + pick);
+        nodes[m.to].OnReceiveAck();
+        break;
+      }
+    }
+  }
+  return ResourceExhaustedError("diffusing computation budget exhausted");
+}
+
+}  // namespace dqsq::dist

@@ -1,0 +1,69 @@
+#include "petri/alarm.h"
+
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+std::string AlarmSequenceToString(const AlarmSequence& alarms) {
+  std::string out;
+  for (const Alarm& a : alarms) {
+    out += "(" + a.symbol + "," + a.peer + ")";
+  }
+  return out;
+}
+
+AlarmSequence MakeAlarms(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  AlarmSequence out;
+  out.reserve(pairs.size());
+  for (const auto& [symbol, peer] : pairs) out.push_back(Alarm{symbol, peer});
+  return out;
+}
+
+std::map<std::string, std::vector<std::string>> SplitByPeer(
+    const AlarmSequence& alarms) {
+  std::map<std::string, std::vector<std::string>> out;
+  for (const Alarm& a : alarms) out[a.peer].push_back(a.symbol);
+  return out;
+}
+
+StatusOr<GeneratedRun> GenerateRun(const PetriNet& net, size_t num_firings,
+                                   Rng& rng) {
+  GeneratedRun run;
+  Marking m = net.initial_marking();
+  // Per-peer emission queues (channel contents in order).
+  std::vector<std::vector<Alarm>> queues(net.num_peers());
+  for (size_t i = 0; i < num_firings; ++i) {
+    std::vector<TransitionId> enabled = net.EnabledTransitions(m);
+    if (enabled.empty()) break;  // dead marking
+    TransitionId t = rng.Pick(enabled);
+    DQSQ_ASSIGN_OR_RETURN(m, net.Fire(m, t));
+    run.firing_sequence.push_back(t);
+    const Transition& tr = net.transition(t);
+    if (tr.observable) {
+      queues[tr.peer].push_back(Alarm{tr.alarm, net.peer_name(tr.peer)});
+    }
+  }
+  // Random merge of the per-peer queues: per-peer order preserved,
+  // cross-peer order arbitrary (asynchronous delivery).
+  std::vector<size_t> next(queues.size(), 0);
+  size_t remaining = 0;
+  for (const auto& q : queues) remaining += q.size();
+  while (remaining > 0) {
+    // Pick a nonempty queue uniformly weighted by remaining length so long
+    // bursts do not starve.
+    uint64_t pick = rng.NextBelow(remaining);
+    for (size_t p = 0; p < queues.size(); ++p) {
+      size_t left = queues[p].size() - next[p];
+      if (pick < left) {
+        run.observation.push_back(queues[p][next[p]++]);
+        break;
+      }
+      pick -= left;
+    }
+    --remaining;
+  }
+  return run;
+}
+
+}  // namespace dqsq::petri

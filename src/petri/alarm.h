@@ -1,0 +1,56 @@
+// Alarms and alarm sequences (paper §2): an alarm is a pair (symbol, peer);
+// the supervisor observes a sequence whose per-peer subsequences respect
+// emission order while the cross-peer interleaving is arbitrary
+// (asynchronous channels). The generator produces ground-truth runs and
+// their possible observations.
+#ifndef DQSQ_PETRI_ALARM_H_
+#define DQSQ_PETRI_ALARM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "petri/net.h"
+
+namespace dqsq::petri {
+
+struct Alarm {
+  std::string symbol;
+  std::string peer;
+
+  friend bool operator==(const Alarm& a, const Alarm& b) {
+    return a.symbol == b.symbol && a.peer == b.peer;
+  }
+};
+
+using AlarmSequence = std::vector<Alarm>;
+
+/// "(b,p1)(a,p2)(c,p1)".
+std::string AlarmSequenceToString(const AlarmSequence& alarms);
+
+/// Convenience literal: {{"b","p1"},{"a","p2"}} from {{symbol, peer}...}.
+AlarmSequence MakeAlarms(
+    const std::vector<std::pair<std::string, std::string>>& pairs);
+
+/// Per-peer subsequences A_p, preserving order (paper §4.2).
+std::map<std::string, std::vector<std::string>> SplitByPeer(
+    const AlarmSequence& alarms);
+
+/// A ground-truth run and one possible supervisor observation of it.
+struct GeneratedRun {
+  std::vector<TransitionId> firing_sequence;
+  AlarmSequence observation;  // observable alarms only, interleaved
+};
+
+/// Fires `num_firings` random enabled transitions from the initial marking
+/// (stopping early at a dead marking), then produces an observation:
+/// observable alarms grouped per peer in emission order, randomly
+/// interleaved across peers.
+StatusOr<GeneratedRun> GenerateRun(const PetriNet& net, size_t num_firings,
+                                   Rng& rng);
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_ALARM_H_

@@ -1,0 +1,83 @@
+#include "petri/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+namespace {
+
+struct MarkingHash {
+  size_t operator()(const Marking& m) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (bool b : m) HashCombine(h, b ? 2 : 1);
+    return h;
+  }
+};
+
+}  // namespace
+
+StatusOr<ReachabilityGraph> BuildReachabilityGraph(const PetriNet& net,
+                                                   size_t max_markings) {
+  DQSQ_RETURN_IF_ERROR(net.Validate());
+  ReachabilityGraph graph;
+  std::unordered_map<Marking, size_t, MarkingHash> index;
+
+  graph.markings.push_back(net.initial_marking());
+  graph.edges.emplace_back();
+  index.emplace(net.initial_marking(), 0);
+
+  std::deque<size_t> frontier{0};
+  while (!frontier.empty()) {
+    size_t m = frontier.front();
+    frontier.pop_front();
+    Marking marking = graph.markings[m];  // copy: vector may reallocate
+    for (TransitionId t : net.EnabledTransitions(marking)) {
+      DQSQ_ASSIGN_OR_RETURN(Marking next, net.Fire(marking, t));
+      auto [it, inserted] = index.emplace(next, graph.markings.size());
+      if (inserted) {
+        if (graph.markings.size() >= max_markings) {
+          graph.complete = false;
+          return graph;
+        }
+        graph.markings.push_back(std::move(next));
+        graph.edges.emplace_back();
+        frontier.push_back(it->second);
+      }
+      graph.edges[m].emplace_back(t, it->second);
+    }
+  }
+  return graph;
+}
+
+NetAnalysis Analyze(const PetriNet& net, const ReachabilityGraph& graph) {
+  NetAnalysis out;
+  out.reachable_markings = graph.num_markings();
+  std::set<TransitionId> fireable;
+  for (size_t m = 0; m < graph.markings.size(); ++m) {
+    if (graph.edges[m].empty()) out.deadlocks.push_back(m);
+    for (const auto& [t, next] : graph.edges[m]) {
+      fireable.insert(t);
+      if (next == 0 && m != 0) out.reversible = true;
+      if (next == 0 && m == 0) out.reversible = true;  // self-loop
+    }
+  }
+  out.fireable_transitions.assign(fireable.begin(), fireable.end());
+  for (TransitionId t = 0; t < net.num_transitions(); ++t) {
+    if (!fireable.contains(t)) out.dead_transitions.push_back(t);
+  }
+  return out;
+}
+
+StatusOr<NetAnalysis> AnalyzeNet(const PetriNet& net, size_t max_markings) {
+  DQSQ_ASSIGN_OR_RETURN(ReachabilityGraph graph,
+                        BuildReachabilityGraph(net, max_markings));
+  return Analyze(net, graph);
+}
+
+}  // namespace dqsq::petri

@@ -1,0 +1,59 @@
+// State-space analysis of safe Petri nets: explicit reachability graph,
+// deadlock detection, dead transitions and place bounds. Used for model
+// sanity checks before diagnosis (a model with dead alarm transitions can
+// never explain their alarms) and by the test suite to cross-validate the
+// unfolding semantics against plain interleaving semantics.
+#ifndef DQSQ_PETRI_ANALYSIS_H_
+#define DQSQ_PETRI_ANALYSIS_H_
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "petri/net.h"
+
+namespace dqsq::petri {
+
+struct ReachabilityGraph {
+  /// Distinct reachable markings; index 0 is the initial marking.
+  std::vector<Marking> markings;
+  /// edges[m] = (transition, successor marking index).
+  std::vector<std::vector<std::pair<TransitionId, size_t>>> edges;
+  /// True iff exploration completed within the budget.
+  bool complete = true;
+
+  size_t num_markings() const { return markings.size(); }
+  size_t num_edges() const {
+    size_t n = 0;
+    for (const auto& e : edges) n += e.size();
+    return n;
+  }
+};
+
+/// Explores the interleaving state space breadth-first, up to
+/// `max_markings` distinct markings. Fails on a safety violation.
+StatusOr<ReachabilityGraph> BuildReachabilityGraph(const PetriNet& net,
+                                                   size_t max_markings);
+
+struct NetAnalysis {
+  /// Reachable markings with no enabled transition.
+  std::vector<size_t> deadlocks;
+  /// Transitions enabled in no reachable marking.
+  std::vector<TransitionId> dead_transitions;
+  /// Transitions enabled in at least one reachable marking.
+  std::vector<TransitionId> fireable_transitions;
+  /// Whether the initial marking is reachable again (the net can cycle).
+  bool reversible = false;
+  size_t reachable_markings = 0;
+};
+
+/// Derives the standard analysis facts from a reachability graph.
+NetAnalysis Analyze(const PetriNet& net, const ReachabilityGraph& graph);
+
+/// Convenience: build the graph and analyze (same budget semantics).
+StatusOr<NetAnalysis> AnalyzeNet(const PetriNet& net,
+                                 size_t max_markings = 100000);
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_ANALYSIS_H_

@@ -1,0 +1,243 @@
+#include "petri/bfhj.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+namespace {
+
+// DFS over cuts of the product unfolding, collecting configurations whose
+// cut marks every chain-end place (all alarms consumed).
+class Extractor {
+ public:
+  Extractor(const Unfolding& u, const AlarmProduct& product,
+            const BfhjOptions& options)
+      : u_(u), product_(product), options_(options) {}
+
+  StatusOr<std::vector<Configuration>> Run() {
+    std::vector<CondId> cut = u_.roots();
+    std::vector<EventId> chosen;
+    DQSQ_RETURN_IF_ERROR(Dfs(cut, chosen, 0));
+    return std::vector<Configuration>(found_.begin(), found_.end());
+  }
+
+ private:
+  bool IsComplete(const std::vector<CondId>& cut) const {
+    std::set<PlaceId> marked;
+    for (CondId c : cut) marked.insert(u_.condition(c).place);
+    for (PlaceId q : product_.chain_end) {
+      if (!marked.contains(q)) return false;
+    }
+    return true;
+  }
+
+  Status Dfs(std::vector<CondId>& cut, std::vector<EventId>& chosen,
+             size_t unobservable_used) {
+    if (++steps_ > options_.max_steps) {
+      return ResourceExhaustedError("BFHJ extraction step budget");
+    }
+    if (IsComplete(cut)) {
+      found_.insert(Canonical(chosen));
+      // Observable extensions are impossible past completion (chains are
+      // exhausted); hidden ones would add unobserved events, which the
+      // basic problem (§2) excludes from explanations.
+      return Status::Ok();
+    }
+    for (EventId e : u_.ExtensionsOfCut(cut)) {
+      const Transition& tr = u_.net().transition(u_.event(e).transition);
+      if (!tr.observable &&
+          unobservable_used >= options_.max_unobservable) {
+        continue;
+      }
+      std::set<CondId> preset(u_.event(e).preset.begin(),
+                              u_.event(e).preset.end());
+      std::vector<CondId> next_cut;
+      for (CondId c : cut) {
+        if (!preset.contains(c)) next_cut.push_back(c);
+      }
+      next_cut.insert(next_cut.end(), u_.event(e).postset.begin(),
+                      u_.event(e).postset.end());
+      chosen.push_back(e);
+      DQSQ_RETURN_IF_ERROR(
+          Dfs(next_cut, chosen,
+              unobservable_used + (tr.observable ? 0 : 1)));
+      chosen.pop_back();
+    }
+    return Status::Ok();
+  }
+
+  const Unfolding& u_;
+  const AlarmProduct& product_;
+  const BfhjOptions& options_;
+  size_t steps_ = 0;
+  std::set<Configuration> found_;
+};
+
+// Replays one linearization of a product configuration on the original
+// unfolding, returning the corresponding original configuration.
+StatusOr<Configuration> Replay(const Unfolding& product_unfolding,
+                               const AlarmProduct& product,
+                               const Configuration& config,
+                               const Unfolding& original) {
+  std::vector<std::vector<EventId>> lins;
+  if (!Linearizations(product_unfolding, config, 1, &lins) &&
+      lins.empty()) {
+    return InternalError("no linearization for product configuration");
+  }
+  DQSQ_CHECK(!lins.empty());
+  std::vector<CondId> cut = original.roots();
+  Configuration out;
+  for (EventId pe : lins[0]) {
+    TransitionId orig_t =
+        product.original_transition[product_unfolding.event(pe).transition];
+    // The unique enabled event of the original unfolding with this
+    // transition whose preset lies in the cut.
+    std::set<CondId> cut_set(cut.begin(), cut.end());
+    EventId match = kInvalidId;
+    for (EventId e = 0; e < original.num_events(); ++e) {
+      if (original.event(e).transition != orig_t) continue;
+      bool enabled = true;
+      for (CondId c : original.event(e).preset) {
+        if (!cut_set.contains(c)) {
+          enabled = false;
+          break;
+        }
+      }
+      if (enabled) {
+        match = e;
+        break;
+      }
+    }
+    if (match == kInvalidId) {
+      return InternalError(
+          "original unfolding prefix too shallow to replay explanation");
+    }
+    std::set<CondId> preset(original.event(match).preset.begin(),
+                            original.event(match).preset.end());
+    std::vector<CondId> next_cut;
+    for (CondId c : cut) {
+      if (!preset.contains(c)) next_cut.push_back(c);
+    }
+    next_cut.insert(next_cut.end(), original.event(match).postset.begin(),
+                    original.event(match).postset.end());
+    cut = std::move(next_cut);
+    out.push_back(match);
+  }
+  return Canonical(std::move(out));
+}
+
+// Canonical Skolem terms of product-unfolding nodes projected onto the
+// original net: chain conditions are erased from presets, product
+// transitions map back through original_transition, and product places
+// through original_place. The result coincides with the terms the §4.1
+// Datalog program derives for the same nodes.
+class Projector {
+ public:
+  Projector(const Unfolding& pu, const AlarmProduct& product,
+            const PetriNet& net)
+      : pu_(pu), product_(product), net_(net) {}
+
+  std::string EventTerm(EventId e) {
+    auto it = event_memo_.find(e);
+    if (it != event_memo_.end()) return it->second;
+    const Event& event = pu_.event(e);
+    std::string out =
+        "f(" +
+        TransitionConstantName(net_,
+                               product_.original_transition[event.transition]);
+    for (CondId c : event.preset) {
+      if (product_.original_place[pu_.condition(c).place] == kInvalidId) {
+        continue;  // alarm-chain condition: erased by the projection
+      }
+      out += ",";
+      out += CondTerm(c);
+    }
+    out += ")";
+    event_memo_[e] = out;
+    return out;
+  }
+
+  std::string CondTerm(CondId c) {
+    const Condition& cond = pu_.condition(c);
+    std::string producer =
+        cond.producer == kInvalidId ? "r" : EventTerm(cond.producer);
+    return "g(" + producer + "," +
+           PlaceConstantName(net_, product_.original_place[cond.place]) + ")";
+  }
+
+ private:
+  const Unfolding& pu_;
+  const AlarmProduct& product_;
+  const PetriNet& net_;
+  std::map<EventId, std::string> event_memo_;
+};
+
+}  // namespace
+
+StatusOr<BfhjResult> BfhjDiagnose(const PetriNet& net,
+                                  const AlarmSequence& alarms,
+                                  const BfhjOptions& options,
+                                  const Unfolding* original_unfolding) {
+  DQSQ_ASSIGN_OR_RETURN(AlarmProduct product,
+                        BuildAlarmProduct(net, alarms));
+  BfhjResult result;
+  if (product.product.num_transitions() == 0) {
+    // Nothing can fire: explanations exist only for the empty observation.
+    result.complete = true;
+    if (alarms.empty()) {
+      result.product_explanations.push_back({});
+      result.explanations.push_back({});
+    }
+    return result;
+  }
+
+  UnfoldOptions uopts;
+  uopts.max_events = options.max_events;
+  DQSQ_ASSIGN_OR_RETURN(Unfolding pu,
+                        Unfolding::Build(product.product, uopts));
+  result.complete = pu.complete();
+  result.events_materialized = pu.num_events();
+  for (CondId c = 0; c < pu.num_conditions(); ++c) {
+    if (product.original_place[pu.condition(c).place] != kInvalidId) {
+      ++result.conditions_materialized;
+    }
+  }
+
+  Extractor extractor(pu, product, options);
+  DQSQ_ASSIGN_OR_RETURN(result.product_explanations, extractor.Run());
+
+  // Theorem 4 measure: the projection of the product unfolding.
+  {
+    Projector projector(pu, product, net);
+    std::set<std::string> events, conditions;
+    for (EventId e = 0; e < pu.num_events(); ++e) {
+      events.insert(projector.EventTerm(e));
+    }
+    for (CondId c = 0; c < pu.num_conditions(); ++c) {
+      if (product.original_place[pu.condition(c).place] == kInvalidId) {
+        continue;
+      }
+      conditions.insert(projector.CondTerm(c));
+    }
+    result.projected_event_terms.assign(events.begin(), events.end());
+    result.projected_condition_terms.assign(conditions.begin(),
+                                            conditions.end());
+  }
+
+  if (original_unfolding != nullptr) {
+    std::set<Configuration> unique;
+    for (const Configuration& c : result.product_explanations) {
+      DQSQ_ASSIGN_OR_RETURN(
+          Configuration orig,
+          Replay(pu, product, c, *original_unfolding));
+      unique.insert(std::move(orig));
+    }
+    result.explanations.assign(unique.begin(), unique.end());
+  }
+  return result;
+}
+
+}  // namespace dqsq::petri

@@ -1,0 +1,74 @@
+#include "petri/builder.h"
+
+namespace dqsq::petri {
+
+void PetriNetBuilder::RecordError(Status status) {
+  if (first_error_.ok()) first_error_ = std::move(status);
+}
+
+PetriNetBuilder& PetriNetBuilder::AddPeer(const std::string& name) {
+  if (peers_.contains(name)) {
+    RecordError(AlreadyExistsError("peer " + name));
+    return *this;
+  }
+  peers_[name] = net_.AddPeer(name);
+  return *this;
+}
+
+PetriNetBuilder& PetriNetBuilder::AddPlace(const std::string& name,
+                                           const std::string& peer,
+                                           bool marked) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    RecordError(NotFoundError("peer " + peer + " for place " + name));
+    return *this;
+  }
+  if (places_.contains(name)) {
+    RecordError(AlreadyExistsError("place " + name));
+    return *this;
+  }
+  PlaceId p = net_.AddPlace(name, it->second);
+  places_[name] = p;
+  if (marked) marked_.push_back(p);
+  return *this;
+}
+
+PetriNetBuilder& PetriNetBuilder::AddTransition(
+    const std::string& name, const std::string& peer, const std::string& alarm,
+    const std::vector<std::string>& pre, const std::vector<std::string>& post,
+    bool observable) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) {
+    RecordError(NotFoundError("peer " + peer + " for transition " + name));
+    return *this;
+  }
+  std::vector<PlaceId> pre_ids, post_ids;
+  for (const std::string& p : pre) {
+    auto pit = places_.find(p);
+    if (pit == places_.end()) {
+      RecordError(NotFoundError("place " + p + " in preset of " + name));
+      return *this;
+    }
+    pre_ids.push_back(pit->second);
+  }
+  for (const std::string& p : post) {
+    auto pit = places_.find(p);
+    if (pit == places_.end()) {
+      RecordError(NotFoundError("place " + p + " in postset of " + name));
+      return *this;
+    }
+    post_ids.push_back(pit->second);
+  }
+  net_.AddTransition(name, it->second, alarm, std::move(pre_ids),
+                     std::move(post_ids), observable);
+  return *this;
+}
+
+StatusOr<PetriNet> PetriNetBuilder::Build() {
+  DQSQ_RETURN_IF_ERROR(first_error_);
+  net_.SetInitialMarking(marked_);
+  DQSQ_RETURN_IF_ERROR(net_.Validate());
+  return std::move(net_);
+}
+
+}  // namespace dqsq::petri

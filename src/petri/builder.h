@@ -1,0 +1,48 @@
+// Fluent, name-based construction of labeled safe Petri nets.
+#ifndef DQSQ_PETRI_BUILDER_H_
+#define DQSQ_PETRI_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "petri/net.h"
+
+namespace dqsq::petri {
+
+class PetriNetBuilder {
+ public:
+  PetriNetBuilder& AddPeer(const std::string& name);
+
+  /// Adds a place owned by `peer` (peer must exist), optionally initially
+  /// marked.
+  PetriNetBuilder& AddPlace(const std::string& name, const std::string& peer,
+                            bool marked = false);
+
+  /// Adds a transition with alarm label `alarm` consuming `pre` and
+  /// producing `post` (place names). Unobservable transitions model the
+  /// paper's §4.4 hidden alarms.
+  PetriNetBuilder& AddTransition(const std::string& name,
+                                 const std::string& peer,
+                                 const std::string& alarm,
+                                 const std::vector<std::string>& pre,
+                                 const std::vector<std::string>& post,
+                                 bool observable = true);
+
+  /// Finalizes and validates the net. Name-resolution errors surface here.
+  StatusOr<PetriNet> Build();
+
+ private:
+  Status first_error_;
+  PetriNet net_;
+  std::unordered_map<std::string, PeerIndex> peers_;
+  std::unordered_map<std::string, PlaceId> places_;
+  std::vector<PlaceId> marked_;
+
+  void RecordError(Status status);
+};
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_BUILDER_H_

@@ -1,0 +1,107 @@
+#include "petri/configuration.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+Configuration Canonical(std::vector<EventId> events) {
+  std::sort(events.begin(), events.end());
+  events.erase(std::unique(events.begin(), events.end()), events.end());
+  return events;
+}
+
+bool IsConfiguration(const Unfolding& u, const Configuration& config) {
+  std::set<EventId> in(config.begin(), config.end());
+  std::set<CondId> consumed;
+  for (EventId e : config) {
+    if (e >= u.num_events()) return false;
+    // Downward closure: every ancestor is in the set.
+    for (uint32_t anc : u.Ancestors(e).ToVector()) {
+      if (!in.contains(anc)) return false;
+    }
+    // Conflict-freedom: no condition consumed by two distinct events.
+    for (CondId c : u.event(e).preset) {
+      if (!consumed.insert(c).second) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<CondId> CutOf(const Unfolding& u, const Configuration& config) {
+  std::set<CondId> consumed;
+  for (EventId e : config) {
+    consumed.insert(u.event(e).preset.begin(), u.event(e).preset.end());
+  }
+  std::vector<CondId> cut;
+  for (CondId c : u.roots()) {
+    if (!consumed.contains(c)) cut.push_back(c);
+  }
+  for (EventId e : config) {
+    for (CondId c : u.event(e).postset) {
+      if (!consumed.contains(c)) cut.push_back(c);
+    }
+  }
+  std::sort(cut.begin(), cut.end());
+  return cut;
+}
+
+Marking MarkingOf(const Unfolding& u, const Configuration& config) {
+  Marking m(u.net().num_places(), false);
+  for (CondId c : CutOf(u, config)) {
+    DQSQ_CHECK(!m[u.condition(c).place]) << "configuration cut is not safe";
+    m[u.condition(c).place] = true;
+  }
+  return m;
+}
+
+namespace {
+
+void LinearizeRec(const Unfolding& u, const Configuration& config,
+                  std::set<EventId>& done, std::vector<EventId>& prefix,
+                  size_t limit, bool* truncated,
+                  std::vector<std::vector<EventId>>* out) {
+  if (out->size() >= limit) {
+    *truncated = true;
+    return;
+  }
+  if (prefix.size() == config.size()) {
+    out->push_back(prefix);
+    return;
+  }
+  for (EventId e : config) {
+    if (done.contains(e)) continue;
+    bool ready = true;
+    for (uint32_t anc : u.Ancestors(e).ToVector()) {
+      // Only ancestors inside the configuration matter; config is downward
+      // closed so all ancestors are inside.
+      if (!done.contains(anc)) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) continue;
+    done.insert(e);
+    prefix.push_back(e);
+    LinearizeRec(u, config, done, prefix, limit, truncated, out);
+    prefix.pop_back();
+    done.erase(e);
+    if (*truncated) return;
+  }
+}
+
+}  // namespace
+
+bool Linearizations(const Unfolding& u, const Configuration& config,
+                    size_t limit,
+                    std::vector<std::vector<EventId>>* out) {
+  std::set<EventId> done;
+  std::vector<EventId> prefix;
+  bool truncated = false;
+  LinearizeRec(u, config, done, prefix, limit, &truncated, out);
+  return !truncated;
+}
+
+}  // namespace dqsq::petri

@@ -1,0 +1,37 @@
+// Configurations of a branching process (paper Definition 4): sets of
+// events that are causally downward closed and conflict-free. Utilities to
+// check, to compute cuts/markings, and to enumerate linearizations.
+#ifndef DQSQ_PETRI_CONFIGURATION_H_
+#define DQSQ_PETRI_CONFIGURATION_H_
+
+#include <vector>
+
+#include "petri/unfolding.h"
+
+namespace dqsq::petri {
+
+/// A configuration: sorted, duplicate-free event ids.
+using Configuration = std::vector<EventId>;
+
+/// Canonicalizes (sorts, dedups) an event set into a Configuration.
+Configuration Canonical(std::vector<EventId> events);
+
+/// Downward closed and conflict-free? (For a downward-closed set,
+/// conflict-freedom is equivalent to no condition being consumed twice.)
+bool IsConfiguration(const Unfolding& u, const Configuration& config);
+
+/// The cut: conditions produced (roots included) and not consumed.
+std::vector<CondId> CutOf(const Unfolding& u, const Configuration& config);
+
+/// Marking ρ(cut) reached after executing the configuration.
+Marking MarkingOf(const Unfolding& u, const Configuration& config);
+
+/// Appends all linearizations (topological orders) of `config`, stopping at
+/// `limit`. Returns false if truncated.
+bool Linearizations(const Unfolding& u, const Configuration& config,
+                    size_t limit,
+                    std::vector<std::vector<EventId>>* out);
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_CONFIGURATION_H_

@@ -1,0 +1,119 @@
+#include "petri/dot.h"
+
+#include <set>
+
+namespace dqsq::petri {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NetToDot(const PetriNet& net) {
+  std::string out = "digraph net {\n  rankdir=TB;\n";
+  for (PeerIndex p = 0; p < net.num_peers(); ++p) {
+    out += "  subgraph cluster_" + std::to_string(p) + " {\n";
+    out += "    label=\"" + Escape(net.peer_name(p)) + "\";\n";
+    for (PlaceId s = 0; s < net.num_places(); ++s) {
+      if (net.place(s).peer != p) continue;
+      out += "    p" + std::to_string(s) + " [shape=circle,label=\"" +
+             Escape(net.place(s).name) + "\"" +
+             (net.initial_marking()[s] ? ",style=bold,penwidth=2" : "") +
+             "];\n";
+    }
+    for (TransitionId t = 0; t < net.num_transitions(); ++t) {
+      const Transition& tr = net.transition(t);
+      if (tr.peer != p) continue;
+      out += "    t" + std::to_string(t) + " [shape=box,label=\"" +
+             Escape(tr.name) + " [" + Escape(tr.alarm) + "]\"" +
+             (tr.observable ? "" : ",style=dashed") + "];\n";
+    }
+    out += "  }\n";
+  }
+  for (TransitionId t = 0; t < net.num_transitions(); ++t) {
+    for (PlaceId s : net.transition(t).pre) {
+      out += "  p" + std::to_string(s) + " -> t" + std::to_string(t) + ";\n";
+    }
+    for (PlaceId s : net.transition(t).post) {
+      out += "  t" + std::to_string(t) + " -> p" + std::to_string(s) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string UnfoldingToDot(const Unfolding& unfolding,
+                           const Configuration* highlight) {
+  const PetriNet& net = unfolding.net();
+  std::set<EventId> shaded_events;
+  std::set<CondId> shaded_conds;
+  if (highlight != nullptr) {
+    for (EventId e : *highlight) {
+      shaded_events.insert(e);
+      const Event& ev = unfolding.event(e);
+      shaded_conds.insert(ev.preset.begin(), ev.preset.end());
+      shaded_conds.insert(ev.postset.begin(), ev.postset.end());
+    }
+    for (CondId c : unfolding.roots()) shaded_conds.insert(c);
+  }
+  std::string out = "digraph unfolding {\n  rankdir=TB;\n";
+  for (CondId c = 0; c < unfolding.num_conditions(); ++c) {
+    out += "  c" + std::to_string(c) + " [shape=circle,label=\"" +
+           Escape(net.place(unfolding.condition(c).place).name) + "\"";
+    if (shaded_conds.contains(c)) out += ",style=filled,fillcolor=gray85";
+    out += "];\n";
+  }
+  for (EventId e = 0; e < unfolding.num_events(); ++e) {
+    const Event& ev = unfolding.event(e);
+    const Transition& tr = net.transition(ev.transition);
+    out += "  e" + std::to_string(e) + " [shape=box,label=\"" +
+           Escape(tr.name) + " [" + Escape(tr.alarm) + "]\"";
+    if (shaded_events.contains(e)) out += ",style=filled,fillcolor=gray70";
+    if (ev.cutoff) out += ",color=red";
+    out += "];\n";
+    for (CondId c : ev.preset) {
+      out += "  c" + std::to_string(c) + " -> e" + std::to_string(e) + ";\n";
+    }
+    for (CondId c : ev.postset) {
+      out += "  e" + std::to_string(e) + " -> c" + std::to_string(c) + ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ExplanationToDot(const Unfolding& unfolding,
+                             const Configuration& config) {
+  const PetriNet& net = unfolding.net();
+  std::set<EventId> in(config.begin(), config.end());
+  std::string out = "digraph explanation {\n  rankdir=TB;\n";
+  for (EventId e : config) {
+    const Transition& tr = net.transition(unfolding.event(e).transition);
+    out += "  e" + std::to_string(e) + " [shape=box,label=\"" +
+           Escape(tr.name) + " [" + Escape(tr.alarm) + "]@" +
+           Escape(net.peer_name(tr.peer)) + "\"];\n";
+  }
+  for (EventId e : config) {
+    for (CondId c : unfolding.event(e).preset) {
+      EventId producer = unfolding.condition(c).producer;
+      if (producer != kInvalidId && in.contains(producer)) {
+        out += "  e" + std::to_string(producer) + " -> e" +
+               std::to_string(e) + " [label=\"" +
+               Escape(net.place(unfolding.condition(c).place).name) +
+               "\"];\n";
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dqsq::petri

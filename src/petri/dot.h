@@ -1,0 +1,33 @@
+// Graphviz DOT rendering of nets, unfoldings and explanations — the
+// "compact, preferably graphical" presentation of the diagnosis set the
+// paper asks for in §2.
+#ifndef DQSQ_PETRI_DOT_H_
+#define DQSQ_PETRI_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "petri/configuration.h"
+#include "petri/net.h"
+#include "petri/unfolding.h"
+
+namespace dqsq::petri {
+
+/// The net: places as circles (marked ones bold), transitions as boxes
+/// labeled "name [alarm]", grouped in per-peer clusters.
+std::string NetToDot(const PetriNet& net);
+
+/// A branching-process prefix: conditions/events with the homomorphism in
+/// the labels. When `highlight` is non-null its events and the conditions
+/// they touch are shaded — the style of the paper's Figure 2.
+std::string UnfoldingToDot(const Unfolding& unfolding,
+                           const Configuration* highlight);
+
+/// One explanation as a causal DAG over its events only (condition nodes
+/// elided; edges follow produced-consumed conditions).
+std::string ExplanationToDot(const Unfolding& unfolding,
+                             const Configuration& config);
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_DOT_H_

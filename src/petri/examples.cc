@@ -1,0 +1,60 @@
+#include "petri/examples.h"
+
+#include "common/logging.h"
+#include "petri/builder.h"
+
+namespace dqsq::petri {
+
+PetriNet MakePaperNet(bool with_loop) {
+  PetriNetBuilder b;
+  b.AddPeer("p1").AddPeer("p2");
+  b.AddPlace("1", "p1", /*marked=*/true)
+      .AddPlace("2", "p1")
+      .AddPlace("3", "p1")
+      .AddPlace("4", "p2", /*marked=*/true)
+      .AddPlace("5", "p2")
+      .AddPlace("6", "p2")
+      .AddPlace("7", "p2", /*marked=*/true)
+      .AddPlace("6x", "p2");
+  b.AddTransition("i", "p1", "b", {"1", "7"}, {"2", "3"});
+  b.AddTransition("ii", "p2", "a", {"4"}, {"5"});
+  b.AddTransition("iii", "p1", "c", {"2"}, {"1"});
+  b.AddTransition("iv", "p2", "c", {"5"}, {"6"});
+  b.AddTransition("v", "p2", "b", {"7"}, {"6x"});
+  if (with_loop) {
+    b.AddTransition("vi", "p2", "a", {"6"}, {"5"});
+  }
+  auto net = b.Build();
+  DQSQ_CHECK_OK(net.status());
+  return *std::move(net);
+}
+
+PetriNet MakeCycleNet() {
+  PetriNetBuilder b;
+  b.AddPeer("p");
+  b.AddPlace("s0", "p", /*marked=*/true).AddPlace("s1", "p").AddPlace("s2",
+                                                                      "p");
+  b.AddTransition("t_a", "p", "a", {"s0"}, {"s1"});
+  b.AddTransition("t_b", "p", "b", {"s1"}, {"s2"});
+  b.AddTransition("t_c", "p", "c", {"s2"}, {"s0"});
+  auto net = b.Build();
+  DQSQ_CHECK_OK(net.status());
+  return *std::move(net);
+}
+
+PetriNet MakeHandshakeNet() {
+  PetriNetBuilder b;
+  b.AddPeer("left").AddPeer("right");
+  b.AddPlace("l0", "left", /*marked=*/true).AddPlace("l1", "left");
+  b.AddPlace("r0", "right", /*marked=*/true).AddPlace("r1", "right");
+  // Local steps.
+  b.AddTransition("lwork", "left", "w", {"l0"}, {"l1"});
+  b.AddTransition("rwork", "right", "w", {"r0"}, {"r1"});
+  // Synchronization: consumes one place of each peer (owned by "left").
+  b.AddTransition("sync", "left", "s", {"l1", "r1"}, {"l0", "r0"});
+  auto net = b.Build();
+  DQSQ_CHECK_OK(net.status());
+  return *std::move(net);
+}
+
+}  // namespace dqsq::petri

@@ -1,0 +1,38 @@
+// Canonical example nets, including a reconstruction of the paper's
+// running example (Figure 1).
+#ifndef DQSQ_PETRI_EXAMPLES_H_
+#define DQSQ_PETRI_EXAMPLES_H_
+
+#include "petri/net.h"
+
+namespace dqsq::petri {
+
+/// The paper's Figure 1 net (reconstructed from the facts stated in the
+/// text): two peers p1, p2; places 1-3 at p1, 4-7 at p2; initially marked
+/// {1, 4, 7}; transitions
+///   i  @p1 [b]: {1,7} -> {2,3}      (α(i)=b, φ(i)=p1, •i={1,7}, i•={2,3})
+///   ii @p2 [a]: {4}   -> {5}
+///   iii@p1 [c]: {2}   -> {1}
+///   iv @p2 [c]: {5}   -> {6}
+///   v  @p2 [b]: {7}   -> {6'}
+/// so that transitions i, ii and v are enabled initially, i and v conflict
+/// over place 7, Neighb(p1) = {p1, p2}, and the alarm sequences
+/// (b,p1)(a,p2)(c,p1) and (b,p1)(c,p1)(a,p2) have the explanation
+/// {i, ii, iii} while (c,p1)(b,p1)(a,p2) has none.
+///
+/// With `with_loop`, adds vi @p2 [a]: {6} -> {5}, making the unfolding
+/// infinite (exercises prefix budgets).
+PetriNet MakePaperNet(bool with_loop = false);
+
+/// A tiny single-peer sequential net: s0 -[a]-> s1 -[b]-> s2 (cyclic back to
+/// s0 with alarm c). Used in quickstart-style tests.
+PetriNet MakeCycleNet();
+
+/// Two peers running independent 2-state loops plus one synchronizing
+/// transition consuming a local place of each peer. Exhibits concurrency
+/// across peers with safe cross-peer interaction.
+PetriNet MakeHandshakeNet();
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_EXAMPLES_H_

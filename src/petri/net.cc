@@ -1,0 +1,209 @@
+#include "petri/net.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+std::string TransitionConstantName(const PetriNet& net, TransitionId t) {
+  return "tr_" + net.transition(t).name;
+}
+
+std::string PlaceConstantName(const PetriNet& net, PlaceId p) {
+  return "pl_" + net.place(p).name;
+}
+
+PeerIndex PetriNet::AddPeer(std::string name) {
+  peers_.push_back(std::move(name));
+  return static_cast<PeerIndex>(peers_.size() - 1);
+}
+
+PlaceId PetriNet::AddPlace(std::string name, PeerIndex peer) {
+  DQSQ_CHECK_LT(peer, peers_.size());
+  places_.push_back(Place{std::move(name), peer});
+  producers_.emplace_back();
+  consumers_.emplace_back();
+  initial_marking_.push_back(false);
+  return static_cast<PlaceId>(places_.size() - 1);
+}
+
+TransitionId PetriNet::AddTransition(std::string name, PeerIndex peer,
+                                     std::string alarm,
+                                     std::vector<PlaceId> pre,
+                                     std::vector<PlaceId> post,
+                                     bool observable) {
+  DQSQ_CHECK_LT(peer, peers_.size());
+  TransitionId t = static_cast<TransitionId>(transitions_.size());
+  for (PlaceId p : pre) {
+    DQSQ_CHECK_LT(p, places_.size());
+    consumers_[p].push_back(t);
+  }
+  for (PlaceId p : post) {
+    DQSQ_CHECK_LT(p, places_.size());
+    producers_[p].push_back(t);
+  }
+  transitions_.push_back(Transition{std::move(name), peer, std::move(alarm),
+                                    observable, std::move(pre),
+                                    std::move(post)});
+  return t;
+}
+
+void PetriNet::SetInitialMarking(std::vector<PlaceId> marked) {
+  std::fill(initial_marking_.begin(), initial_marking_.end(), false);
+  for (PlaceId p : marked) {
+    DQSQ_CHECK_LT(p, places_.size());
+    initial_marking_[p] = true;
+  }
+}
+
+PeerIndex PetriNet::FindPeer(const std::string& name) const {
+  for (PeerIndex i = 0; i < peers_.size(); ++i) {
+    if (peers_[i] == name) return i;
+  }
+  return kInvalidId;
+}
+
+std::vector<TransitionId> PetriNet::TransitionsOfPeer(PeerIndex p) const {
+  std::vector<TransitionId> out;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].peer == p) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<PeerIndex> PetriNet::Neighbors(PeerIndex p) const {
+  std::set<PeerIndex> out;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].peer != p) continue;
+    for (PlaceId s : transitions_[t].pre) {
+      for (TransitionId producer : producers_[s]) {
+        out.insert(transitions_[producer].peer);
+      }
+      // Root places (no producer) contribute their own peer.
+      if (producers_[s].empty()) out.insert(places_[s].peer);
+    }
+  }
+  return std::vector<PeerIndex>(out.begin(), out.end());
+}
+
+bool PetriNet::IsEnabled(const Marking& m, TransitionId t) const {
+  for (PlaceId p : transitions_[t].pre) {
+    if (!m[p]) return false;
+  }
+  return true;
+}
+
+std::vector<TransitionId> PetriNet::EnabledTransitions(
+    const Marking& m) const {
+  std::vector<TransitionId> out;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (IsEnabled(m, t)) out.push_back(t);
+  }
+  return out;
+}
+
+StatusOr<Marking> PetriNet::Fire(const Marking& m, TransitionId t) const {
+  if (!IsEnabled(m, t)) {
+    return FailedPreconditionError("transition " + transitions_[t].name +
+                                   " is not enabled");
+  }
+  Marking next = m;
+  for (PlaceId p : transitions_[t].pre) next[p] = false;
+  for (PlaceId p : transitions_[t].post) {
+    if (next[p]) {
+      return FailedPreconditionError(
+          "safety violation: firing " + transitions_[t].name +
+          " would mark already-marked place " + places_[p].name);
+    }
+    next[p] = true;
+  }
+  return next;
+}
+
+Status PetriNet::Validate() const {
+  if (places_.empty()) return InvalidArgumentError("net has no places");
+  bool any_marked = false;
+  for (bool b : initial_marking_) any_marked |= b;
+  if (!any_marked) return InvalidArgumentError("initial marking is empty");
+  for (const Transition& t : transitions_) {
+    if (t.pre.empty()) {
+      return InvalidArgumentError("transition " + t.name +
+                                  " has an empty preset");
+    }
+    if (t.post.empty()) {
+      return InvalidArgumentError("transition " + t.name +
+                                  " has an empty postset");
+    }
+    std::set<PlaceId> pre_set(t.pre.begin(), t.pre.end());
+    if (pre_set.size() != t.pre.size()) {
+      return InvalidArgumentError("transition " + t.name +
+                                  " has duplicate preset places");
+    }
+    std::set<PlaceId> post_set(t.post.begin(), t.post.end());
+    if (post_set.size() != t.post.size()) {
+      return InvalidArgumentError("transition " + t.name +
+                                  " has duplicate postset places");
+    }
+  }
+  return Status::Ok();
+}
+
+Status PetriNet::CheckSafety(size_t max_markings) const {
+  struct MarkingHash {
+    size_t operator()(const Marking& m) const {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (bool b : m) HashCombine(h, b ? 2 : 1);
+      return h;
+    }
+  };
+  std::unordered_set<Marking, MarkingHash> seen;
+  std::deque<Marking> frontier;
+  frontier.push_back(initial_marking_);
+  seen.insert(initial_marking_);
+  while (!frontier.empty()) {
+    if (seen.size() > max_markings) {
+      return ResourceExhaustedError("safety check exceeded marking budget");
+    }
+    Marking m = std::move(frontier.front());
+    frontier.pop_front();
+    for (TransitionId t : EnabledTransitions(m)) {
+      StatusOr<Marking> next = Fire(m, t);
+      if (!next.ok()) return next.status();
+      if (seen.insert(*next).second) frontier.push_back(*std::move(next));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string PetriNet::ToString() const {
+  std::string out = "PetriNet{peers=[";
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += peers_[i];
+  }
+  out += "], places=" + std::to_string(places_.size()) +
+         ", transitions=" + std::to_string(transitions_.size()) + "}\n";
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    const Transition& tr = transitions_[t];
+    out += "  " + tr.name + "@" + peers_[tr.peer] + " [" + tr.alarm +
+           (tr.observable ? "" : ", hidden") + "]: {";
+    for (size_t i = 0; i < tr.pre.size(); ++i) {
+      if (i > 0) out += ",";
+      out += places_[tr.pre[i]].name;
+    }
+    out += "} -> {";
+    for (size_t i = 0; i < tr.post.size(); ++i) {
+      if (i > 0) out += ",";
+      out += places_[tr.post[i]].name;
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace dqsq::petri

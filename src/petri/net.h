@@ -1,0 +1,123 @@
+// Safe Petri nets with peer and alarm labels (paper Definitions 1-2).
+// Each place and transition belongs to a peer (the labeling φ); each
+// transition carries an alarm symbol (the labeling α) and an observability
+// flag (paper §4.4, hidden transitions). Token-game semantics: a transition
+// is enabled when all parent places are marked; firing moves the marking
+// M' = M - •t + t•. Safety (1-boundedness) is assumed by the paper; this
+// module detects violations at firing time and offers a bounded exhaustive
+// check.
+#ifndef DQSQ_PETRI_NET_H_
+#define DQSQ_PETRI_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dqsq::petri {
+
+using PlaceId = uint32_t;
+using TransitionId = uint32_t;
+using PeerIndex = uint32_t;
+
+inline constexpr uint32_t kInvalidId = 0xffffffffu;
+
+/// A marking: one bit per place.
+using Marking = std::vector<bool>;
+
+class PetriNet;
+
+/// Canonical Datalog-constant names of net nodes ("tr_i", "pl_7"), shared
+/// by the diagnosis encoder, the BFHJ projection and the explanation
+/// canonicalizer so their Skolem terms compare as strings.
+std::string TransitionConstantName(const PetriNet& net, TransitionId t);
+std::string PlaceConstantName(const PetriNet& net, PlaceId p);
+
+struct Place {
+  std::string name;
+  PeerIndex peer;
+};
+
+struct Transition {
+  std::string name;
+  PeerIndex peer;
+  std::string alarm;           // α(t)
+  bool observable = true;      // §4.4: hidden transitions are unobservable
+  std::vector<PlaceId> pre;    // •t
+  std::vector<PlaceId> post;   // t•
+};
+
+class PetriNet {
+ public:
+  PetriNet() = default;
+
+  // --- construction (used by PetriNetBuilder) ---
+  PeerIndex AddPeer(std::string name);
+  PlaceId AddPlace(std::string name, PeerIndex peer);
+  TransitionId AddTransition(std::string name, PeerIndex peer,
+                             std::string alarm, std::vector<PlaceId> pre,
+                             std::vector<PlaceId> post, bool observable);
+  void SetInitialMarking(std::vector<PlaceId> marked);
+
+  // --- structure ---
+  size_t num_places() const { return places_.size(); }
+  size_t num_transitions() const { return transitions_.size(); }
+  size_t num_peers() const { return peers_.size(); }
+  const Place& place(PlaceId p) const { return places_[p]; }
+  const Transition& transition(TransitionId t) const {
+    return transitions_[t];
+  }
+  const std::string& peer_name(PeerIndex p) const { return peers_[p]; }
+  const Marking& initial_marking() const { return initial_marking_; }
+
+  /// Peer index by name, or kInvalidId.
+  PeerIndex FindPeer(const std::string& name) const;
+  /// Transitions of peer `p`.
+  std::vector<TransitionId> TransitionsOfPeer(PeerIndex p) const;
+
+  /// Transitions producing into place `p` (the place's parents).
+  const std::vector<TransitionId>& Producers(PlaceId p) const {
+    return producers_[p];
+  }
+  /// Transitions consuming from place `p` (the place's children).
+  const std::vector<TransitionId>& Consumers(PlaceId p) const {
+    return consumers_[p];
+  }
+
+  /// Neighb(p) of §4.1: peers holding a transition that is grandparent of
+  /// some transition of p (plus p itself if self-feeding). Includes peers
+  /// whose transitions feed places consumed by p's transitions.
+  std::vector<PeerIndex> Neighbors(PeerIndex p) const;
+
+  // --- token game ---
+  bool IsEnabled(const Marking& m, TransitionId t) const;
+  std::vector<TransitionId> EnabledTransitions(const Marking& m) const;
+
+  /// Fires `t` from `m`. Fails if `t` is not enabled or the firing would
+  /// violate safety (produce into a still-marked place).
+  StatusOr<Marking> Fire(const Marking& m, TransitionId t) const;
+
+  /// Structural checks: non-empty presets, ids in range, a non-empty
+  /// initial marking, peer indices valid.
+  Status Validate() const;
+
+  /// Exhaustively explores reachable markings (up to `max_markings`) and
+  /// reports the first safety violation found, OK if none.
+  Status CheckSafety(size_t max_markings = 100000) const;
+
+  /// Human-readable summary.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> peers_;
+  std::vector<Place> places_;
+  std::vector<Transition> transitions_;
+  std::vector<std::vector<TransitionId>> producers_;  // per place
+  std::vector<std::vector<TransitionId>> consumers_;  // per place
+  Marking initial_marking_;
+};
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_NET_H_

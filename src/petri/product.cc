@@ -1,0 +1,82 @@
+#include "petri/product.h"
+
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+StatusOr<AlarmProduct> BuildAlarmProduct(const PetriNet& net,
+                                         const AlarmSequence& alarms) {
+  for (const Alarm& a : alarms) {
+    if (net.FindPeer(a.peer) == kInvalidId) {
+      return InvalidArgumentError("alarm from unknown peer " + a.peer);
+    }
+  }
+  AlarmProduct out;
+  PetriNet& prod = out.product;
+
+  // Peers copied 1:1.
+  for (PeerIndex p = 0; p < net.num_peers(); ++p) {
+    prod.AddPeer(net.peer_name(p));
+  }
+
+  // Original places copied 1:1 (same indices).
+  std::vector<PlaceId> init;
+  for (PlaceId s = 0; s < net.num_places(); ++s) {
+    PlaceId copy = prod.AddPlace(net.place(s).name, net.place(s).peer);
+    out.original_place.push_back(s);
+    DQSQ_CHECK_EQ(copy, s);
+    if (net.initial_marking()[s]) init.push_back(copy);
+  }
+
+  // Alarm chains: per-peer subsequences of the observation.
+  std::vector<std::vector<std::string>> per_peer(net.num_peers());
+  for (const Alarm& a : alarms) {
+    per_peer[net.FindPeer(a.peer)].push_back(a.symbol);
+  }
+  // chain_places[p][i] = q_{p,i}, i = 0..n_p.
+  std::vector<std::vector<PlaceId>> chain_places(net.num_peers());
+  for (PeerIndex p = 0; p < net.num_peers(); ++p) {
+    for (size_t i = 0; i <= per_peer[p].size(); ++i) {
+      PlaceId q = prod.AddPlace(
+          "q_" + net.peer_name(p) + "_" + std::to_string(i), p);
+      out.original_place.push_back(kInvalidId);
+      chain_places[p].push_back(q);
+    }
+    init.push_back(chain_places[p][0]);
+    out.chain_end.push_back(chain_places[p].back());
+  }
+
+  // Transitions: observable ones synchronize with every matching chain
+  // position; unobservable ones pass through.
+  for (TransitionId t = 0; t < net.num_transitions(); ++t) {
+    const Transition& tr = net.transition(t);
+    if (!tr.observable) {
+      prod.AddTransition(tr.name, tr.peer, tr.alarm, tr.pre, tr.post,
+                        /*observable=*/false);
+      out.original_transition.push_back(t);
+      continue;
+    }
+    const auto& seq = per_peer[tr.peer];
+    for (size_t i = 0; i < seq.size(); ++i) {
+      if (seq[i] != tr.alarm) continue;
+      std::vector<PlaceId> pre = tr.pre;
+      pre.push_back(chain_places[tr.peer][i]);
+      std::vector<PlaceId> post = tr.post;
+      post.push_back(chain_places[tr.peer][i + 1]);
+      prod.AddTransition(tr.name + "#" + std::to_string(i + 1), tr.peer,
+                        tr.alarm, std::move(pre), std::move(post),
+                        /*observable=*/true);
+      out.original_transition.push_back(t);
+    }
+  }
+
+  prod.SetInitialMarking(init);
+  // The product may legitimately have no transitions (unexplainable
+  // observation); Validate() only rejects structural malformations.
+  if (prod.num_transitions() > 0) {
+    DQSQ_RETURN_IF_ERROR(prod.Validate());
+  }
+  return out;
+}
+
+}  // namespace dqsq::petri

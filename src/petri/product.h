@@ -1,0 +1,38 @@
+// Product of a labeled Petri net with an alarm sequence (paper §4.3,
+// sketching the algorithm of [8]): each peer's alarm subsequence A_p
+// becomes a linear net q_{p,0} -> u_{p,1} -> q_{p,1} -> ...; every
+// observable transition of peer p with alarm a synchronizes with each
+// chain transition u_{p,i} carrying the same symbol. Runs of the product
+// are exactly the runs of the original net compatible with the observation.
+#ifndef DQSQ_PETRI_PRODUCT_H_
+#define DQSQ_PETRI_PRODUCT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "petri/alarm.h"
+#include "petri/net.h"
+
+namespace dqsq::petri {
+
+struct AlarmProduct {
+  PetriNet product;
+  /// For each product transition: the original transition it instantiates.
+  std::vector<TransitionId> original_transition;
+  /// For each product place: the original place, or kInvalidId for alarm
+  /// chain places.
+  std::vector<PlaceId> original_place;
+  /// The final chain place of each peer (all must be marked for an
+  /// explanation to be complete). One entry per peer of the original net.
+  std::vector<PlaceId> chain_end;
+};
+
+/// Builds the product. Peers absent from `alarms` get an empty chain, which
+/// correctly forbids their observable transitions (their alarms were not
+/// observed). Unobservable transitions pass through unsynchronized.
+StatusOr<AlarmProduct> BuildAlarmProduct(const PetriNet& net,
+                                         const AlarmSequence& alarms);
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_PRODUCT_H_

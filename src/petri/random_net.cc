@@ -1,0 +1,60 @@
+#include "petri/random_net.h"
+
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+PetriNet MakeRandomNet(const RandomNetOptions& options, Rng& rng) {
+  DQSQ_CHECK_GE(options.num_peers, 1u);
+  DQSQ_CHECK_GE(options.places_per_peer, 2u);
+  DQSQ_CHECK_GE(options.num_alarm_symbols, 1u);
+  PetriNet net;
+  std::vector<PeerIndex> peers;
+  std::vector<std::vector<PlaceId>> states(options.num_peers);
+  std::vector<PlaceId> init;
+  for (uint32_t p = 0; p < options.num_peers; ++p) {
+    peers.push_back(net.AddPeer("peer" + std::to_string(p)));
+    for (uint32_t s = 0; s < options.places_per_peer; ++s) {
+      states[p].push_back(net.AddPlace(
+          "s" + std::to_string(p) + "_" + std::to_string(s), peers[p]));
+    }
+    init.push_back(states[p][0]);
+  }
+
+  for (uint32_t p = 0; p < options.num_peers; ++p) {
+    for (uint32_t k = 0; k < options.transitions_per_peer; ++k) {
+      // First edge leaves the initial state so runs are never trivially
+      // dead; otherwise uniform.
+      uint32_t src = (k == 0)
+                         ? 0
+                         : static_cast<uint32_t>(
+                               rng.NextBelow(options.places_per_peer));
+      uint32_t dst = static_cast<uint32_t>(
+          rng.NextBelow(options.places_per_peer));
+      std::vector<PlaceId> pre{states[p][src]};
+      std::vector<PlaceId> post{states[p][dst]};
+      if (options.num_peers > 1 && rng.NextBool(options.sync_probability)) {
+        uint32_t q = static_cast<uint32_t>(
+            rng.NextBelow(options.num_peers - 1));
+        if (q >= p) ++q;  // any peer but p
+        uint32_t src2 = static_cast<uint32_t>(
+            rng.NextBelow(options.places_per_peer));
+        uint32_t dst2 = static_cast<uint32_t>(
+            rng.NextBelow(options.places_per_peer));
+        pre.push_back(states[q][src2]);
+        post.push_back(states[q][dst2]);
+      }
+      std::string alarm =
+          "a" + std::to_string(rng.NextBelow(options.num_alarm_symbols));
+      bool observable = !rng.NextBool(options.hidden_probability);
+      net.AddTransition(
+          "t" + std::to_string(p) + "_" + std::to_string(k), peers[p], alarm,
+          std::move(pre), std::move(post), observable);
+    }
+  }
+  net.SetInitialMarking(init);
+  DQSQ_CHECK_OK(net.Validate());
+  return net;
+}
+
+}  // namespace dqsq::petri

@@ -1,0 +1,33 @@
+// Random safe Petri nets for property tests and benchmarks. Generation
+// follows the telecom structure the paper models (each peer a local state
+// machine, interaction through transitions that touch a neighbor peer's
+// places): the net is a synchronized product of one-token automata, hence
+// safe by construction — every component carries exactly one token at all
+// times. This is the substitution for the paper's (proprietary) SWAN
+// telecom networks; see DESIGN.md §4.
+#ifndef DQSQ_PETRI_RANDOM_NET_H_
+#define DQSQ_PETRI_RANDOM_NET_H_
+
+#include "common/rng.h"
+#include "petri/net.h"
+
+namespace dqsq::petri {
+
+struct RandomNetOptions {
+  uint32_t num_peers = 3;
+  uint32_t places_per_peer = 4;       // automaton states
+  uint32_t transitions_per_peer = 5;  // automaton edges
+  /// Probability that a transition also synchronizes with a second peer
+  /// (consumes and produces one of its places).
+  double sync_probability = 0.3;
+  uint32_t num_alarm_symbols = 3;
+  /// Probability that a transition is unobservable (§4.4 hidden alarms).
+  double hidden_probability = 0.0;
+};
+
+/// Generates a safe net; deterministic for a given (options, rng state).
+PetriNet MakeRandomNet(const RandomNetOptions& options, Rng& rng);
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_RANDOM_NET_H_

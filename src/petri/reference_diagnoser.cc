@@ -1,0 +1,120 @@
+#include "petri/reference_diagnoser.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+namespace {
+
+class Searcher {
+ public:
+  Searcher(const Unfolding& u, const AlarmSequence& alarms,
+           const ReferenceOptions& options)
+      : u_(u), options_(options) {
+    for (const Alarm& a : alarms) {
+      PeerIndex p = u.net().FindPeer(a.peer);
+      // Alarms from unknown peers can never be explained.
+      if (p == kInvalidId) {
+        impossible_ = true;
+        return;
+      }
+      per_peer_.resize(u.net().num_peers());
+      per_peer_[p].push_back(a.symbol);
+    }
+    per_peer_.resize(u.net().num_peers());
+  }
+
+  StatusOr<ReferenceResult> Run() {
+    ReferenceResult result;
+    if (impossible_) return result;
+    std::vector<CondId> cut = u_.roots();
+    std::vector<size_t> idx(per_peer_.size(), 0);
+    std::vector<EventId> chosen;
+    Status status =
+        Dfs(cut, idx, chosen, /*unobservable_used=*/0, &result);
+    DQSQ_RETURN_IF_ERROR(status);
+    // Canonicalize and deduplicate (different interleavings produce the
+    // same configuration).
+    std::set<Configuration> unique;
+    for (Configuration& c : result.explanations) {
+      unique.insert(Canonical(std::move(c)));
+    }
+    result.explanations.assign(unique.begin(), unique.end());
+    return result;
+  }
+
+ private:
+  bool AllConsumed(const std::vector<size_t>& idx) const {
+    for (size_t p = 0; p < per_peer_.size(); ++p) {
+      if (idx[p] < per_peer_[p].size()) return false;
+    }
+    return true;
+  }
+
+  Status Dfs(std::vector<CondId>& cut, std::vector<size_t>& idx,
+             std::vector<EventId>& chosen, size_t unobservable_used,
+             ReferenceResult* result) {
+    if (++result->steps > options_.max_steps) {
+      return ResourceExhaustedError("reference diagnoser step budget");
+    }
+    if (AllConsumed(idx)) {
+      result->explanations.emplace_back(chosen.begin(), chosen.end());
+      // Continue: with hidden transitions longer explanations may also
+      // match (they do not consume alarms), but without them every
+      // extension consumes an alarm, so we can stop this branch.
+      if (!options_.allow_unobservable) return Status::Ok();
+    }
+    for (EventId e : u_.ExtensionsOfCut(cut)) {
+      const Transition& tr = u_.net().transition(u_.event(e).transition);
+      bool observable = tr.observable;
+      if (observable) {
+        if (AllConsumed(idx)) continue;
+        if (tr.peer >= per_peer_.size()) continue;
+        const auto& expected = per_peer_[tr.peer];
+        if (idx[tr.peer] >= expected.size()) continue;
+        if (expected[idx[tr.peer]] != tr.alarm) continue;
+      } else {
+        if (!options_.allow_unobservable) continue;
+        if (unobservable_used >= options_.max_unobservable) continue;
+      }
+      // Fire e.
+      std::vector<CondId> new_cut;
+      std::set<CondId> preset(u_.event(e).preset.begin(),
+                              u_.event(e).preset.end());
+      for (CondId c : cut) {
+        if (!preset.contains(c)) new_cut.push_back(c);
+      }
+      new_cut.insert(new_cut.end(), u_.event(e).postset.begin(),
+                     u_.event(e).postset.end());
+      if (observable) ++idx[tr.peer];
+      chosen.push_back(e);
+      DQSQ_RETURN_IF_ERROR(Dfs(new_cut, idx,
+                               chosen,
+                               unobservable_used + (observable ? 0 : 1),
+                               result));
+      chosen.pop_back();
+      if (observable) --idx[tr.peer];
+    }
+    return Status::Ok();
+  }
+
+  const Unfolding& u_;
+  const ReferenceOptions& options_;
+  std::vector<std::vector<std::string>> per_peer_;
+  bool impossible_ = false;
+};
+
+}  // namespace
+
+StatusOr<ReferenceResult> ReferenceDiagnose(const Unfolding& unfolding,
+                                            const AlarmSequence& alarms,
+                                            const ReferenceOptions& options) {
+  Searcher searcher(unfolding, alarms, options);
+  return searcher.Run();
+}
+
+}  // namespace dqsq::petri

@@ -1,0 +1,50 @@
+// Exhaustive reference diagnoser: enumerates every configuration of a
+// (prefix of the) unfolding that explains an alarm sequence, by depth-first
+// search over cuts. Exponential — this is the oracle the optimized engines
+// (supervisor Datalog program, BFHJ product unfolding) are validated
+// against, mirroring the paper's problem statement in §2.
+//
+// Matching semantics: a configuration C explains A iff C has a
+// linearization whose per-peer projection of (observable) alarms equals the
+// per-peer subsequences of A. This is the semantics computed by both the
+// paper's supervisor program (configPrefixes extends one alarm at a time)
+// and the product construction of [8].
+#ifndef DQSQ_PETRI_REFERENCE_DIAGNOSER_H_
+#define DQSQ_PETRI_REFERENCE_DIAGNOSER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "petri/alarm.h"
+#include "petri/configuration.h"
+#include "petri/unfolding.h"
+
+namespace dqsq::petri {
+
+struct ReferenceOptions {
+  /// DFS step budget; exceeded => RESOURCE_EXHAUSTED.
+  size_t max_steps = 1000000;
+  /// §4.4 hidden transitions: allow unobservable events in explanations
+  /// (they consume no alarm). Explanations then contain the matched
+  /// observable events plus any unobservable ones fired.
+  bool allow_unobservable = false;
+  /// Cap on unobservable events per explanation (loops of hidden events
+  /// make the search infinite otherwise).
+  size_t max_unobservable = 8;
+};
+
+struct ReferenceResult {
+  std::vector<Configuration> explanations;  // canonical, deduplicated
+  size_t steps = 0;
+};
+
+/// All explanations of `alarms` among configurations of `unfolding`.
+/// `unfolding` must be deep enough to contain every explanation (e.g.
+/// complete, or depth >= |alarms| plus the hidden budget).
+StatusOr<ReferenceResult> ReferenceDiagnose(const Unfolding& unfolding,
+                                            const AlarmSequence& alarms,
+                                            const ReferenceOptions& options);
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_REFERENCE_DIAGNOSER_H_

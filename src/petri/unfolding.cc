@@ -1,0 +1,300 @@
+#include "petri/unfolding.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+// Incremental construction state. Not in an unnamed namespace: it is the
+// friend of Unfolding declared in the header.
+class UnfoldingBuilder {
+ public:
+  UnfoldingBuilder(const PetriNet& net, const UnfoldOptions& options)
+      : net_(net), options_(options) {
+    u_.net_ = &net;
+  }
+
+  StatusOr<Unfolding> Run() {
+    // Roots: one condition per initially marked place, pairwise concurrent.
+    for (PlaceId p = 0; p < net_.num_places(); ++p) {
+      if (!net_.initial_marking()[p]) continue;
+      CondId c = AddCondition(p, kInvalidId);
+      u_.roots_.push_back(c);
+    }
+    for (CondId a : u_.roots_) {
+      for (CondId b : u_.roots_) {
+        if (a != b) u_.co_[a].Set(b);
+      }
+    }
+    for (CondId c : u_.roots_) pending_.push_back(c);
+    if (options_.use_cutoffs) {
+      // The empty configuration reaches the initial marking.
+      markings_[net_.initial_marking()] = 0;
+    }
+
+    u_.complete_ = true;
+    while (!pending_.empty()) {
+      CondId c = pending_.front();
+      pending_.pop_front();
+      for (TransitionId t : net_.Consumers(u_.conditions_[c].place)) {
+        if (!ExtendWith(t, c)) {
+          u_.complete_ = false;
+          pending_.clear();
+          break;
+        }
+      }
+    }
+    return std::move(u_);
+  }
+
+ private:
+  CondId AddCondition(PlaceId place, EventId producer) {
+    CondId c = static_cast<CondId>(u_.conditions_.size());
+    u_.conditions_.push_back(Condition{place, producer});
+    u_.co_.emplace_back();
+    conds_by_place_.resize(net_.num_places());
+    conds_by_place_[place].push_back(c);
+    return c;
+  }
+
+  // Enumerates all new events of transition `t` whose preset contains the
+  // (new) condition `anchor`. Returns false if the event budget is hit.
+  bool ExtendWith(TransitionId t, CondId anchor) {
+    const Transition& tr = net_.transition(t);
+    // Position of anchor's place in tr.pre (places are distinct).
+    size_t anchor_pos = 0;
+    while (tr.pre[anchor_pos] != u_.conditions_[anchor].place) ++anchor_pos;
+    std::vector<CondId> chosen(tr.pre.size(), kInvalidId);
+    chosen[anchor_pos] = anchor;
+    return Enumerate(t, anchor_pos, 0, chosen);
+  }
+
+  // Recursive choice of co-set members for each preset position.
+  bool Enumerate(TransitionId t, size_t anchor_pos, size_t pos,
+                 std::vector<CondId>& chosen) {
+    const Transition& tr = net_.transition(t);
+    if (pos == tr.pre.size()) return AddEventIfNew(t, chosen);
+    if (pos == anchor_pos) {
+      return Enumerate(t, anchor_pos, pos + 1, chosen);
+    }
+    if (tr.pre[pos] >= conds_by_place_.size()) return true;  // no candidates
+    // Candidates: conditions of the right place, concurrent with every
+    // already-chosen condition. Index loop over a captured bound: deeper
+    // recursion appends new conditions to this vector (they get their own
+    // pending-queue pass).
+    size_t num_candidates = conds_by_place_[tr.pre[pos]].size();
+    for (size_t cand_idx = 0; cand_idx < num_candidates; ++cand_idx) {
+      CondId cand = conds_by_place_[tr.pre[pos]][cand_idx];
+      bool ok = true;
+      for (size_t i = 0; i < tr.pre.size() && ok; ++i) {
+        if (chosen[i] != kInvalidId && i != pos) {
+          ok = u_.co_[cand].Test(chosen[i]);
+        }
+      }
+      if (!ok) continue;
+      chosen[pos] = cand;
+      if (!Enumerate(t, anchor_pos, pos + 1, chosen)) return false;
+      chosen[pos] = kInvalidId;
+    }
+    return true;
+  }
+
+  bool AddEventIfNew(TransitionId t, const std::vector<CondId>& preset) {
+    // Dedup on (transition, preset-as-set).
+    std::vector<CondId> key = preset;
+    std::sort(key.begin(), key.end());
+    if (!seen_events_.insert({t, key}).second) return true;
+
+    // Depth = 1 + deepest producer.
+    uint32_t depth = 1;
+    for (CondId c : preset) {
+      EventId producer = u_.conditions_[c].producer;
+      if (producer != kInvalidId) {
+        depth = std::max(depth, u_.events_[producer].depth + 1);
+      }
+    }
+    if (options_.max_depth > 0 && depth > options_.max_depth) return true;
+
+    if (options_.max_events > 0 && u_.events_.size() >= options_.max_events) {
+      return false;  // budget exhausted; prefix is incomplete
+    }
+
+    EventId e = static_cast<EventId>(u_.events_.size());
+    Event event;
+    event.transition = t;
+    event.preset = preset;
+    event.depth = depth;
+
+    DynBitset anc;
+    for (CondId c : preset) {
+      EventId producer = u_.conditions_[c].producer;
+      if (producer != kInvalidId) {
+        anc.UnionWith(u_.ancestors_[producer]);
+        anc.Set(producer);
+      }
+    }
+
+    // McMillan cut-off: compare the marking reached by [e] against earlier
+    // local configurations.
+    bool cutoff = false;
+    if (options_.use_cutoffs) {
+      size_t size = anc.PopCount() + 1;
+      Marking mark = MarkingOfLocalConfig(anc, e, preset, t);
+      auto it = markings_.find(mark);
+      if (it != markings_.end() && it->second < size) {
+        cutoff = true;
+      } else if (it == markings_.end()) {
+        markings_[mark] = size;
+      } else {
+        it->second = std::min(it->second, size);
+      }
+    }
+    event.cutoff = cutoff;
+
+    u_.events_.push_back(std::move(event));
+    u_.ancestors_.push_back(std::move(anc));
+
+    if (!cutoff) {
+      // co-set of the event: conditions concurrent with every preset member.
+      DynBitset co_e = u_.co_[preset[0]];
+      for (size_t i = 1; i < preset.size(); ++i) {
+        co_e.IntersectWith(u_.co_[preset[i]]);
+      }
+      for (CondId c : preset) co_e.Clear(c);
+
+      const Transition& tr = net_.transition(t);
+      std::vector<CondId> postset;
+      for (PlaceId p : tr.post) postset.push_back(AddCondition(p, e));
+      u_.events_[e].postset = postset;
+
+      for (CondId c : postset) {
+        u_.co_[c] = co_e;
+        for (CondId sibling : postset) {
+          if (sibling != c) u_.co_[c].Set(sibling);
+        }
+        for (uint32_t other : co_e.ToVector()) u_.co_[other].Set(c);
+        pending_.push_back(c);
+      }
+    }
+    return true;
+  }
+
+  // Marking reached by the local configuration [e] where e (not yet stored)
+  // has ancestor set `anc` and preset `preset` of transition `t`.
+  Marking MarkingOfLocalConfig(const DynBitset& anc, EventId /*e*/,
+                               const std::vector<CondId>& preset,
+                               TransitionId t) {
+    // Consumed conditions: presets of all events in [e].
+    std::set<CondId> consumed(preset.begin(), preset.end());
+    std::vector<uint32_t> config = anc.ToVector();
+    for (EventId f : config) {
+      consumed.insert(u_.events_[f].preset.begin(),
+                      u_.events_[f].preset.end());
+    }
+    Marking mark(net_.num_places(), false);
+    // Produced: roots + postsets of [e]'s events + e's own postset (by
+    // transition image, since conditions aren't created yet).
+    for (CondId c : u_.roots_) {
+      if (!consumed.contains(c)) mark[u_.conditions_[c].place] = true;
+    }
+    for (EventId f : config) {
+      for (CondId c : u_.events_[f].postset) {
+        if (!consumed.contains(c)) mark[u_.conditions_[c].place] = true;
+      }
+    }
+    for (PlaceId p : net_.transition(t).post) mark[p] = true;
+    return mark;
+  }
+
+  const PetriNet& net_;
+  const UnfoldOptions& options_;
+  Unfolding u_;
+  std::vector<std::vector<CondId>> conds_by_place_;
+  std::deque<CondId> pending_;
+  std::set<std::pair<TransitionId, std::vector<CondId>>> seen_events_;
+  std::map<Marking, size_t> markings_;  // marking -> smallest |[e]|
+};
+
+StatusOr<Unfolding> Unfolding::Build(const PetriNet& net,
+                                     const UnfoldOptions& options) {
+  DQSQ_RETURN_IF_ERROR(net.Validate());
+  UnfoldingBuilder builder(net, options);
+  return builder.Run();
+}
+
+bool Unfolding::InConflict(EventId e1, EventId e2) const {
+  if (e1 == e2) return false;
+  if (CausallyPrecedes(e1, e2) || CausallyPrecedes(e2, e1)) return false;
+  // Conflict iff distinct events a <= e1, b <= e2 consume a common
+  // condition (Definition 4 with v = e1, u = e2).
+  std::map<CondId, std::vector<EventId>> consumers;
+  for (EventId f : LocalConfiguration(e1)) {
+    for (CondId c : events_[f].preset) consumers[c].push_back(f);
+  }
+  for (EventId f : LocalConfiguration(e2)) {
+    for (CondId c : events_[f].preset) {
+      auto it = consumers.find(c);
+      if (it == consumers.end()) continue;
+      for (EventId g : it->second) {
+        if (g != f) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<EventId> Unfolding::ExtensionsOfCut(
+    const std::vector<CondId>& cut) const {
+  std::set<CondId> cut_set(cut.begin(), cut.end());
+  std::vector<EventId> out;
+  for (EventId e = 0; e < events_.size(); ++e) {
+    bool ok = true;
+    for (CondId c : events_[e].preset) {
+      if (!cut_set.contains(c)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<EventId> Unfolding::LocalConfiguration(EventId e) const {
+  std::vector<EventId> out = ancestors_[e].ToVector();
+  out.push_back(e);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Unfolding::ToString() const {
+  std::string out = "Unfolding{conditions=" +
+                    std::to_string(conditions_.size()) +
+                    ", events=" + std::to_string(events_.size()) +
+                    (complete_ ? ", complete" : ", truncated") + "}\n";
+  for (EventId e = 0; e < events_.size(); ++e) {
+    const Event& ev = events_[e];
+    out += "  e" + std::to_string(e) + " [" +
+           net_->transition(ev.transition).name + "]";
+    if (ev.cutoff) out += " (cutoff)";
+    out += ": {";
+    for (size_t i = 0; i < ev.preset.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "c" + std::to_string(ev.preset[i]);
+    }
+    out += "} -> {";
+    for (size_t i = 0; i < ev.postset.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "c" + std::to_string(ev.postset[i]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace dqsq::petri

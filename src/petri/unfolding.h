@@ -1,0 +1,112 @@
+// Branching processes and unfoldings of safe Petri nets (paper Definition 4,
+// following Engelfriet [13] / McMillan [24]). The unfolding is built by the
+// possible-extensions method with an incrementally maintained concurrency
+// (co) relation over conditions; causality is tracked as per-event ancestor
+// bitsets. The construction is budgeted (events / depth) because unfoldings
+// are infinite in general; optional McMillan cut-offs yield a complete
+// finite prefix.
+#ifndef DQSQ_PETRI_UNFOLDING_H_
+#define DQSQ_PETRI_UNFOLDING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "petri/net.h"
+
+namespace dqsq::petri {
+
+using CondId = uint32_t;
+using EventId = uint32_t;
+
+/// A condition (place instance) of the unfolding; ρ(c) = place.
+struct Condition {
+  PlaceId place;
+  EventId producer;  // kInvalidId for the roots (initially marked places)
+};
+
+/// An event (transition instance); ρ(e) = transition.
+struct Event {
+  TransitionId transition;
+  std::vector<CondId> preset;   // aligned with transition's pre order
+  std::vector<CondId> postset;  // aligned with transition's post order
+  uint32_t depth;               // roots-only events have depth 1
+  bool cutoff = false;          // true if pruned by the McMillan criterion
+};
+
+struct UnfoldOptions {
+  /// Stop after this many events (0 = unlimited; use with cut-offs only).
+  size_t max_events = 10000;
+  /// Keep only events of depth <= max_depth (0 = unlimited).
+  size_t max_depth = 0;
+  /// McMillan cut-offs: do not extend beyond an event whose local
+  /// configuration reaches a marking already reached by a smaller one.
+  bool use_cutoffs = false;
+};
+
+class Unfolding {
+ public:
+  /// Builds a prefix of Unfold(net, M0) within the given budgets.
+  static StatusOr<Unfolding> Build(const PetriNet& net,
+                                   const UnfoldOptions& options);
+
+  const PetriNet& net() const { return *net_; }
+  size_t num_conditions() const { return conditions_.size(); }
+  size_t num_events() const { return events_.size(); }
+  const Condition& condition(CondId c) const { return conditions_[c]; }
+  const Event& event(EventId e) const { return events_[e]; }
+
+  /// Root conditions (images of the initially marked places), in place
+  /// order.
+  const std::vector<CondId>& roots() const { return roots_; }
+
+  /// True iff the construction reached a fixpoint (no possible extension
+  /// was skipped for budget reasons; cut-off pruning still counts as
+  /// complete).
+  bool complete() const { return complete_; }
+
+  /// Events strictly below `e` (its causal past, excluding `e`).
+  const DynBitset& Ancestors(EventId e) const { return ancestors_[e]; }
+
+  /// e1 <= e2 in the causal order?
+  bool CausallyPrecedes(EventId e1, EventId e2) const {
+    return e1 == e2 || ancestors_[e2].Test(e1);
+  }
+
+  /// e1 # e2 (conflict, Definition 4)?
+  bool InConflict(EventId e1, EventId e2) const;
+
+  /// c1 co c2 (concurrent conditions)?
+  bool Concurrent(CondId c1, CondId c2) const {
+    return co_[c1].Test(c2);
+  }
+
+  /// Events whose preset is contained in `cut` (given as a sorted-or-not
+  /// condition list). Excludes cut-off events' extensions naturally (the
+  /// events exist; their postsets do not).
+  std::vector<EventId> ExtensionsOfCut(const std::vector<CondId>& cut) const;
+
+  /// The local configuration [e] = ancestors + e, as sorted event ids.
+  std::vector<EventId> LocalConfiguration(EventId e) const;
+
+  /// Multi-line rendering (events with presets/postsets), for debugging.
+  std::string ToString() const;
+
+ private:
+  Unfolding() = default;
+
+  const PetriNet* net_ = nullptr;
+  std::vector<Condition> conditions_;
+  std::vector<Event> events_;
+  std::vector<CondId> roots_;
+  std::vector<DynBitset> co_;         // per condition: concurrent conditions
+  std::vector<DynBitset> ancestors_;  // per event: strict causal past
+  bool complete_ = false;
+
+  friend class UnfoldingBuilder;
+};
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_UNFOLDING_H_

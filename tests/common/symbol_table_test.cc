@@ -1,0 +1,51 @@
+#include "common/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsq {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.Intern("alpha");
+  SymbolId b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Intern("alpha"), a);
+  EXPECT_EQ(table.Name(a), "alpha");
+  EXPECT_EQ(table.Name(b), "beta");
+}
+
+TEST(SymbolTableTest, LookupFindsOnlyInterned) {
+  SymbolTable table;
+  SymbolId a = table.Intern("x");
+  SymbolId found;
+  EXPECT_TRUE(table.Lookup("x", &found));
+  EXPECT_EQ(found, a);
+  EXPECT_FALSE(table.Lookup("y", &found));
+}
+
+TEST(SymbolTableTest, StableAcrossManyInsertions) {
+  SymbolTable table;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 10000; ++i) {
+    ids.push_back(table.Intern("sym" + std::to_string(i)));
+  }
+  // References and lookups survive growth.
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(table.Name(ids[i]), "sym" + std::to_string(i));
+    SymbolId found;
+    ASSERT_TRUE(table.Lookup("sym" + std::to_string(i), &found));
+    EXPECT_EQ(found, ids[i]);
+  }
+  EXPECT_EQ(table.size(), 10000u);
+}
+
+TEST(SymbolTableTest, EmptyStringIsValidSymbol) {
+  SymbolTable table;
+  SymbolId e = table.Intern("");
+  EXPECT_EQ(table.Name(e), "");
+  EXPECT_EQ(table.Intern(""), e);
+}
+
+}  // namespace
+}  // namespace dqsq

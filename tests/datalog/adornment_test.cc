@@ -1,0 +1,106 @@
+#include "datalog/adornment.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace dqsq {
+namespace {
+
+TEST(AdornmentTest, SuffixNotation) {
+  EXPECT_EQ(AdornmentSuffix({true, false}), "bf");
+  EXPECT_EQ(AdornmentSuffix({false, false, true}), "ffb");
+  EXPECT_EQ(AdornmentSuffix({}), "");
+}
+
+TEST(AdornmentTest, QueryAdornmentFromGroundPositions) {
+  DatalogContext ctx;
+  auto q = ParseQuery("r(\"1\", Y)", ctx);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(QueryAdornment(q->atom), (Adornment{true, false}));
+  auto q2 = ParseQuery("r(X, Y)", ctx);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(QueryAdornment(q2->atom), (Adornment{false, false}));
+}
+
+TEST(AdornmentTest, FunctionArgBoundOnlyWhenAllVarsBound) {
+  DatalogContext ctx;
+  auto program = ParseProgram("p(f(X, Y), X) :- q(X), r(Y).", ctx);
+  ASSERT_TRUE(program.ok());
+  const Atom& head = program->rules[0].head;
+  // Only X bound: f(X, Y) stays free, second arg bound.
+  std::vector<bool> bound_vars(2, false);
+  bound_vars[0] = true;  // X is slot 0 (first occurrence)
+  Adornment a = AdornAtom(head, bound_vars);
+  EXPECT_EQ(a, (Adornment{false, true}));
+  bound_vars[1] = true;
+  EXPECT_EQ(AdornAtom(head, bound_vars), (Adornment{true, true}));
+}
+
+TEST(AdornmentTest, PaperFigure3CallPatterns) {
+  DatalogContext ctx;
+  // Figure 3 program; query r@r("1", Y) — the paper's running Datalog
+  // example. Expected reachable call patterns (Figure 4): r^bf, s^bf, t^bf.
+  auto program = ParseProgram(R"(
+    r@r(X, Y) :- a@r(X, Y).
+    r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+    s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+    t@t(X, Y) :- c@t(X, Y).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  auto q = ParseQuery("r@r(\"1\", Y)", ctx);
+  ASSERT_TRUE(q.ok());
+  auto adorned = AdornProgram(*program, q->atom.rel, QueryAdornment(q->atom));
+  ASSERT_TRUE(adorned.ok()) << adorned.status().ToString();
+
+  std::vector<std::string> patterns;
+  for (const auto& [rel, a] : adorned->call_patterns) {
+    patterns.push_back(ctx.PredicateName(rel.pred) + "^" +
+                       AdornmentSuffix(a));
+  }
+  std::sort(patterns.begin(), patterns.end());
+  EXPECT_EQ(patterns,
+            (std::vector<std::string>{"r^bf", "s^bf", "t^bf"}));
+  // Each of the four rules is adorned exactly once.
+  EXPECT_EQ(adorned->rules.size(), 4u);
+}
+
+TEST(AdornmentTest, DistinctAdornmentsOfOneRelation) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+    q(Y) :- sg(k, Y), sg(Y, m).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  auto q = ParseQuery("q(Y)", ctx);
+  ASSERT_TRUE(q.ok());
+  auto adorned = AdornProgram(*program, q->atom.rel, QueryAdornment(q->atom));
+  ASSERT_TRUE(adorned.ok());
+  // sg is called as sg^bf (from q and recursively) and sg^bb — wait: the
+  // second call sg(Y, m) has Y bound (by the first) and m constant: sg^bb.
+  std::vector<std::string> patterns;
+  for (const auto& [rel, a] : adorned->call_patterns) {
+    patterns.push_back(ctx.PredicateName(rel.pred) + "^" +
+                       AdornmentSuffix(a));
+  }
+  std::sort(patterns.begin(), patterns.end());
+  EXPECT_EQ(patterns,
+            (std::vector<std::string>{"q^f", "sg^bb", "sg^bf"}));
+}
+
+TEST(AdornmentTest, ExtensionalQueryIsRejected) {
+  DatalogContext ctx;
+  auto program = ParseProgram("p(X) :- base(X).", ctx);
+  ASSERT_TRUE(program.ok());
+  PredicateId base;
+  ASSERT_TRUE(ctx.LookupPredicate("base", &base));
+  auto adorned = AdornProgram(*program, RelId{base, ctx.local_peer()},
+                              Adornment{true});
+  EXPECT_FALSE(adorned.ok());
+}
+
+}  // namespace
+}  // namespace dqsq

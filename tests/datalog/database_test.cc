@@ -1,0 +1,58 @@
+#include "datalog/database.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsq {
+namespace {
+
+TEST(DatabaseTest, InsertByNameAndDump) {
+  DatalogContext ctx;
+  Database db(&ctx);
+  db.InsertByName("edge", {"a", "b"});
+  db.InsertByName("edge", {"b", "c"});
+  db.InsertByName("node", {"a"});
+  EXPECT_EQ(db.TotalFacts(), 3u);
+  EXPECT_EQ(db.Dump(), "edge(a,b)\nedge(b,c)\nnode(a)\n");
+}
+
+TEST(DatabaseTest, RelationsKeyedByPeer) {
+  DatalogContext ctx;
+  Database db(&ctx);
+  PredicateId pred = ctx.InternPredicate("r", 1);
+  SymbolId p1 = ctx.InternPeer("p1");
+  SymbolId p2 = ctx.InternPeer("p2");
+  TermId v = ctx.Constant("v");
+  db.Insert(RelId{pred, p1}, std::vector<TermId>{v});
+  EXPECT_NE(db.Find(RelId{pred, p1}), nullptr);
+  EXPECT_EQ(db.Find(RelId{pred, p2}), nullptr);
+  db.Insert(RelId{pred, p2}, std::vector<TermId>{v});
+  EXPECT_EQ(db.TotalFacts(), 2u);
+  EXPECT_EQ(db.Relations().size(), 2u);
+}
+
+TEST(DatabaseTest, CountFactsMatching) {
+  DatalogContext ctx;
+  Database db(&ctx);
+  db.InsertByName("trans", {"a"});
+  db.InsertByName("trans__bf", {"a"});
+  db.InsertByName("transit", {"a"});
+  size_t n = db.CountFactsMatching([](const std::string& name) {
+    return name == "trans" || name.rfind("trans__", 0) == 0;
+  });
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(DatabaseTest, GetOrCreateIsIdempotent) {
+  DatalogContext ctx;
+  Database db(&ctx);
+  PredicateId pred = ctx.InternPredicate("p", 2);
+  RelId rel{pred, ctx.local_peer()};
+  Relation& a = db.GetOrCreate(rel);
+  a.Insert(std::vector<TermId>{1, 2});
+  Relation& b = db.GetOrCreate(rel);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dqsq

@@ -1,0 +1,213 @@
+#include "datalog/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+
+namespace dqsq {
+namespace {
+
+using ::dqsq::testing::AnswerStrings;
+using ::dqsq::testing::RunQueryStrings;
+
+const char* kTransitiveClosure = R"(
+  edge(a, b).
+  edge(b, c).
+  edge(c, d).
+  edge(b, e).
+  path(X, Y) :- edge(X, Y).
+  path(X, Y) :- edge(X, Z), path(Z, Y).
+)";
+
+TEST(EvalTest, TransitiveClosureNaive) {
+  DatalogContext ctx;
+  auto answers =
+      RunQueryStrings(ctx, kTransitiveClosure, "path(a, Y)", Strategy::kNaive);
+  EXPECT_EQ(answers, (std::vector<std::string>{"b", "c", "d", "e"}));
+}
+
+TEST(EvalTest, TransitiveClosureSemiNaive) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, kTransitiveClosure, "path(a, Y)",
+                                 Strategy::kSemiNaive);
+  EXPECT_EQ(answers, (std::vector<std::string>{"b", "c", "d", "e"}));
+}
+
+TEST(EvalTest, SemiNaiveDerivesSameFactsAsNaive) {
+  DatalogContext ctx;
+  auto program = ParseProgram(kTransitiveClosure, ctx);
+  ASSERT_TRUE(program.ok());
+  Database naive_db(&ctx);
+  Database semi_db(&ctx);
+  EvalOptions naive_opts;
+  naive_opts.seminaive = false;
+  EvalOptions semi_opts;
+  ASSERT_TRUE(Evaluate(*program, naive_db, naive_opts).ok());
+  ASSERT_TRUE(Evaluate(*program, semi_db, semi_opts).ok());
+  EXPECT_EQ(naive_db.Dump(), semi_db.Dump());
+  EXPECT_EQ(naive_db.TotalFacts(), semi_db.TotalFacts());
+}
+
+TEST(EvalTest, CyclicGraphTerminates) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, R"(
+    edge(a, b). edge(b, c). edge(c, a).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )",
+                                 "path(a, Y)", Strategy::kSemiNaive);
+  EXPECT_EQ(answers, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(EvalTest, DisequalityFiltersDerivations) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, R"(
+    node(a). node(b). node(c).
+    pair(X, Y) :- node(X), node(Y), X != Y.
+  )",
+                                 "pair(X, Y)", Strategy::kSemiNaive);
+  EXPECT_EQ(answers.size(), 6u);  // 3*3 minus the 3 diagonal pairs
+  for (const std::string& s : answers) {
+    EXPECT_NE(s, "a,a");
+    EXPECT_NE(s, "b,b");
+    EXPECT_NE(s, "c,c");
+  }
+}
+
+TEST(EvalTest, DisequalityAgainstConstant) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, R"(
+    node(a). node(b).
+    notb(X) :- node(X), X != b.
+  )",
+                                 "notb(X)", Strategy::kSemiNaive);
+  EXPECT_EQ(answers, (std::vector<std::string>{"a"}));
+}
+
+TEST(EvalTest, FunctionSymbolsConstructTerms) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, R"(
+    base(a).
+    wrapped(f(X)) :- base(X).
+    double(g(X, X)) :- base(X).
+  )",
+                                 "wrapped(W)", Strategy::kSemiNaive);
+  EXPECT_EQ(answers, (std::vector<std::string>{"f(a)"}));
+}
+
+TEST(EvalTest, FunctionSymbolsDecomposeInBodies) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, R"(
+    cell(f(a, b)).
+    cell(f(c, d)).
+    left(X) :- cell(f(X, Y)).
+  )",
+                                 "left(X)", Strategy::kSemiNaive);
+  EXPECT_EQ(answers, (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(EvalTest, InfiniteProgramHitsDepthBudget) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    n(z).
+    n(s(X)) :- n(X).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  Database db(&ctx);
+  EvalOptions opts;
+  opts.max_term_depth = 5;
+  opts.depth_policy = EvalOptions::DepthPolicy::kPrune;
+  auto stats = Evaluate(*program, db, opts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // z, s(z), ..., s^4(z): depth cap 5 keeps exactly 5 numerals.
+  PredicateId n;
+  ASSERT_TRUE(ctx.LookupPredicate("n", &n));
+  EXPECT_EQ(db.Find(RelId{n, ctx.local_peer()})->size(), 5u);
+  EXPECT_GT(stats->depth_pruned, 0u);
+}
+
+TEST(EvalTest, InfiniteProgramErrorsUnderErrorPolicy) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    n(z).
+    n(s(X)) :- n(X).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  Database db(&ctx);
+  EvalOptions opts;
+  opts.max_term_depth = 5;
+  opts.depth_policy = EvalOptions::DepthPolicy::kError;
+  auto stats = Evaluate(*program, db, opts);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, MaxFactsBudgetStopsRunaway) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    n(z).
+    n(s(X)) :- n(X).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  Database db(&ctx);
+  EvalOptions opts;
+  opts.max_facts = 100;
+  auto stats = Evaluate(*program, db, opts);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, EmptyProgramIsFixpointImmediately) {
+  DatalogContext ctx;
+  Program program;
+  Database db(&ctx);
+  auto stats = Evaluate(program, db, EvalOptions{});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->facts_derived, 0u);
+}
+
+TEST(EvalTest, MutualRecursionAcrossRelations) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, R"(
+    succ(n0, n1). succ(n1, n2). succ(n2, n3). succ(n3, n4).
+    even(n0).
+    odd(X) :- succ(Y, X), even(Y).
+    even(X) :- succ(Y, X), odd(Y).
+  )",
+                                 "even(X)", Strategy::kSemiNaive);
+  EXPECT_EQ(answers, (std::vector<std::string>{"n0", "n2", "n4"}));
+}
+
+TEST(EvalTest, DistributedFactsKeyedByPeer) {
+  DatalogContext ctx;
+  // The same predicate at different peers holds different facts (global
+  // program semantics P^g: the peer is an extra column).
+  auto answers = RunQueryStrings(ctx, R"(
+    stock@paris(wine).
+    stock@rome(pasta).
+    menu(X) :- stock@paris(X).
+  )",
+                                 "menu(X)", Strategy::kSemiNaive);
+  EXPECT_EQ(answers, (std::vector<std::string>{"wine"}));
+}
+
+TEST(EvalTest, AskOnGroundQueryChecksMembership) {
+  DatalogContext ctx;
+  auto program = ParseProgram("edge(a, b).", ctx);
+  ASSERT_TRUE(program.ok());
+  Database db(&ctx);
+  ASSERT_TRUE(Evaluate(*program, db, EvalOptions{}).ok());
+  auto yes = ParseQuery("edge(a, b)", ctx);
+  auto no = ParseQuery("edge(b, a)", ctx);
+  ASSERT_TRUE(yes.ok() && no.ok());
+  EXPECT_EQ(Ask(db, yes->atom, yes->num_vars).size(), 1u);
+  EXPECT_EQ(Ask(db, no->atom, no->num_vars).size(), 0u);
+}
+
+}  // namespace
+}  // namespace dqsq

@@ -1,0 +1,130 @@
+#include "datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsq {
+namespace {
+
+TEST(ParserTest, ParsesFactsAndRules) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    % transitive closure
+    edge(a, b).
+    edge(b, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->rules.size(), 4u);
+  EXPECT_TRUE(program->rules[0].IsFact());
+  EXPECT_TRUE(program->rules[1].IsFact());
+  EXPECT_FALSE(program->rules[2].IsFact());
+  EXPECT_EQ(program->rules[3].body.size(), 2u);
+  EXPECT_EQ(RuleToString(program->rules[3], ctx),
+            "path(X,Y) :- edge(X,Z), path(Z,Y).");
+}
+
+TEST(ParserTest, ParsesPeersAndDistribution) {
+  DatalogContext ctx;
+  // The Figure 3 program of the paper.
+  auto program = ParseProgram(R"(
+    r@r(X, Y) :- a@r(X, Y).
+    r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+    s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+    t@t(X, Y) :- c@t(X, Y).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->rules.size(), 4u);
+  SymbolId peer_r = ctx.symbols().Intern("r");
+  SymbolId peer_s = ctx.symbols().Intern("s");
+  EXPECT_EQ(program->rules[0].head.rel.peer, peer_r);
+  EXPECT_EQ(program->rules[1].body[0].rel.peer, peer_s);
+  EXPECT_EQ(RuleToString(program->rules[1], ctx),
+            "r@r(X,Y) :- s@s(X,Z), t@t(Z,Y).");
+}
+
+TEST(ParserTest, ParsesQuotedConstantsAndFunctionTerms) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    q(f(X, "1"), g()) :- base(X).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const Rule& rule = program->rules[0];
+  ASSERT_EQ(rule.head.args.size(), 2u);
+  EXPECT_EQ(rule.head.args[0].kind(), Pattern::Kind::kApp);
+  EXPECT_EQ(rule.head.args[1].kind(), Pattern::Kind::kApp);
+  EXPECT_EQ(rule.head.args[1].args().size(), 0u);
+}
+
+TEST(ParserTest, ParsesDisequalities) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    distinct(X, Y) :- node(X), node(Y), X != Y.
+    notme(X) :- node(X), X != a.
+    alsofine(X) :- node(X), a != X.
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->rules[0].diseqs.size(), 1u);
+  EXPECT_EQ(program->rules[1].diseqs.size(), 1u);
+  EXPECT_EQ(program->rules[2].diseqs.size(), 1u);
+}
+
+TEST(ParserTest, RejectsNonRangeRestrictedRule) {
+  DatalogContext ctx;
+  auto program = ParseProgram("head(X, Y) :- body(X).", ctx);
+  EXPECT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, RejectsVariablePeer) {
+  DatalogContext ctx;
+  // Peer names must be constants (paper §3, unlike reference [32]).
+  auto program = ParseProgram("a@P(X) :- b(X, P).", ctx);
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(ParserTest, RejectsSyntaxErrors) {
+  DatalogContext ctx;
+  EXPECT_FALSE(ParseProgram("p(X) :- q(X)", ctx).ok());   // missing period
+  EXPECT_FALSE(ParseProgram("p(X :- q(X).", ctx).ok());   // missing paren
+  EXPECT_FALSE(ParseProgram("p(X) : q(X).", ctx).ok());   // bad ':-'
+  EXPECT_FALSE(ParseProgram("p(\"unterminated) .", ctx).ok());
+  EXPECT_FALSE(ParseProgram("P(x).", ctx).ok());          // var as predicate
+}
+
+TEST(ParserTest, QueryAtomCollectsVariables) {
+  DatalogContext ctx;
+  auto q = ParseQuery("path@r(\"1\", Y)", ctx);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->num_vars, 1u);
+  EXPECT_EQ(q->var_names[0], "Y");
+  EXPECT_TRUE(q->atom.args[0].IsGround());
+  EXPECT_FALSE(q->atom.args[1].IsGround());
+}
+
+TEST(ParserTest, ArityConflictIsRejected) {
+  DatalogContext ctx;
+  auto p1 = ParseProgram("p(a, b).", ctx);
+  ASSERT_TRUE(p1.ok());
+  // Same predicate with another arity aborts by design; validated here at
+  // parse level by catching the different-arity atom in one program.
+  EXPECT_DEATH((void)ParseProgram("p(a).", ctx), "arity");
+}
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  DatalogContext ctx;
+  const char* text = "path@r(X,Y) :- edge@r(X,Z), path@r(Z,Y), X != Y.";
+  auto program = ParseProgram(text, ctx);
+  ASSERT_TRUE(program.ok());
+  std::string printed = ProgramToString(*program, ctx);
+  auto again = ParseProgram(printed, ctx);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(ProgramToString(*again, ctx), printed);
+}
+
+}  // namespace
+}  // namespace dqsq

@@ -1,0 +1,117 @@
+#include "datalog/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "common/symbol_table.h"
+
+namespace dqsq {
+namespace {
+
+class PatternTest : public ::testing::Test {
+ protected:
+  SymbolId Sym(const char* s) { return symbols_.Intern(s); }
+  TermId Const(const char* s) { return arena_.MakeConstant(Sym(s)); }
+
+  SymbolTable symbols_;
+  TermArena arena_;
+};
+
+TEST_F(PatternTest, VariableBindsAndRebindsConsistently) {
+  Pattern x = Pattern::Var(0);
+  Substitution subst(1, kNoTerm);
+  std::vector<VarId> trail;
+  TermId a = Const("a");
+  EXPECT_TRUE(MatchPattern(x, a, arena_, subst, trail));
+  EXPECT_EQ(subst[0], a);
+  // Same variable must match the same value.
+  EXPECT_TRUE(MatchPattern(x, a, arena_, subst, trail));
+  EXPECT_FALSE(MatchPattern(x, Const("b"), arena_, subst, trail));
+}
+
+TEST_F(PatternTest, ConstMatchesOnlyItself) {
+  Pattern pa = Pattern::Const(Sym("a"));
+  Substitution subst;
+  std::vector<VarId> trail;
+  EXPECT_TRUE(MatchPattern(pa, Const("a"), arena_, subst, trail));
+  EXPECT_FALSE(MatchPattern(pa, Const("b"), arena_, subst, trail));
+  TermId fa = arena_.MakeApp(Sym("a"), {});
+  EXPECT_FALSE(MatchPattern(pa, fa, arena_, subst, trail));
+}
+
+TEST_F(PatternTest, AppDecomposesStructurally) {
+  // f(X, a) against f(b, a) binds X=b; against f(b, c) fails.
+  Pattern p = Pattern::App(Sym("f"),
+                           {Pattern::Var(0), Pattern::Const(Sym("a"))});
+  TermId fba = arena_.MakeApp(Sym("f"), {Const("b"), Const("a")});
+  TermId fbc = arena_.MakeApp(Sym("f"), {Const("b"), Const("c")});
+  Substitution subst(1, kNoTerm);
+  std::vector<VarId> trail;
+  EXPECT_TRUE(MatchPattern(p, fba, arena_, subst, trail));
+  EXPECT_EQ(subst[0], Const("b"));
+  UndoTrail(subst, trail, 0);
+  EXPECT_EQ(subst[0], kNoTerm);
+  EXPECT_FALSE(MatchPattern(p, fbc, arena_, subst, trail));
+}
+
+TEST_F(PatternTest, RepeatedVariableInsideApp) {
+  // f(X, X) matches f(a, a) but not f(a, b).
+  Pattern p = Pattern::App(Sym("f"), {Pattern::Var(0), Pattern::Var(0)});
+  TermId faa = arena_.MakeApp(Sym("f"), {Const("a"), Const("a")});
+  TermId fab = arena_.MakeApp(Sym("f"), {Const("a"), Const("b")});
+  Substitution subst(1, kNoTerm);
+  std::vector<VarId> trail;
+  EXPECT_TRUE(MatchPattern(p, faa, arena_, subst, trail));
+  UndoTrail(subst, trail, 0);
+  EXPECT_FALSE(MatchPattern(p, fab, arena_, subst, trail));
+}
+
+TEST_F(PatternTest, UndoTrailRestoresMark) {
+  Pattern p = Pattern::App(Sym("f"), {Pattern::Var(0), Pattern::Var(1)});
+  TermId fab = arena_.MakeApp(Sym("f"), {Const("a"), Const("b")});
+  Substitution subst(2, kNoTerm);
+  std::vector<VarId> trail;
+  subst[0] = Const("a");
+  trail.push_back(0);
+  size_t mark = trail.size();
+  EXPECT_TRUE(MatchPattern(p, fab, arena_, subst, trail));
+  UndoTrail(subst, trail, mark);
+  EXPECT_EQ(subst[0], Const("a"));  // binding before the mark survives
+  EXPECT_EQ(subst[1], kNoTerm);
+}
+
+TEST_F(PatternTest, GroundPatternBuildsTerm) {
+  Pattern p = Pattern::App(Sym("f"),
+                           {Pattern::Var(0), Pattern::Const(Sym("c"))});
+  Substitution subst(1, Const("a"));
+  TermId t = GroundPattern(p, subst, arena_);
+  EXPECT_EQ(arena_.ToString(t, symbols_), "f(a,c)");
+}
+
+TEST_F(PatternTest, TryGroundReturnsNoTermWhenUnbound) {
+  Pattern p = Pattern::App(Sym("f"), {Pattern::Var(0)});
+  Substitution subst(1, kNoTerm);
+  EXPECT_EQ(TryGroundPattern(p, subst, arena_), kNoTerm);
+}
+
+TEST_F(PatternTest, IsGroundAndCollectVars) {
+  Pattern p = Pattern::App(
+      Sym("f"), {Pattern::Var(2), Pattern::App(Sym("g"), {Pattern::Var(5)}),
+                 Pattern::Const(Sym("c"))});
+  EXPECT_FALSE(p.IsGround());
+  std::vector<VarId> vars;
+  p.CollectVars(&vars);
+  EXPECT_EQ(vars, (std::vector<VarId>{2, 5}));
+  Pattern q = Pattern::App(Sym("f"), {Pattern::Const(Sym("a"))});
+  EXPECT_TRUE(q.IsGround());
+}
+
+TEST_F(PatternTest, ArityMismatchFailsMatch) {
+  Pattern p = Pattern::App(Sym("f"), {Pattern::Var(0)});
+  TermId fab = arena_.MakeApp(Sym("f"), {Const("a"), Const("b")});
+  Substitution subst(1, kNoTerm);
+  std::vector<VarId> trail;
+  EXPECT_FALSE(MatchPattern(p, fab, arena_, subst, trail));
+}
+
+}  // namespace
+}  // namespace dqsq

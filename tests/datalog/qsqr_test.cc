@@ -1,0 +1,148 @@
+#include "datalog/qsqr.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/engine.h"
+#include "tests/test_util.h"
+
+namespace dqsq {
+namespace {
+
+using ::dqsq::testing::RunQuery;
+using ::dqsq::testing::RunQueryStrings;
+
+TEST(QsqrTest, ChainReachability) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, R"(
+    edge(a, b). edge(b, c). edge(c, d). edge(b, e).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )",
+                                 "path(a, Y)", Strategy::kQsqIterative);
+  EXPECT_EQ(answers, (std::vector<std::string>{"b", "c", "d", "e"}));
+}
+
+TEST(QsqrTest, MatchesRewritingOnFigure3) {
+  const char* program = R"(
+    r@r(X, Y) :- a@r(X, Y).
+    r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+    s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+    t@t(X, Y) :- c@t(X, Y).
+    a@r("1", "2").  a@r("2", "3").  a@r("7", "8").
+    b@s("2", "5").  b@s("3", "6").
+    c@t("2", "4").  c@t("3", "9").
+  )";
+  DatalogContext c1, c2;
+  auto top_down =
+      RunQueryStrings(c1, program, "r@r(\"1\", Y)", Strategy::kQsqIterative);
+  auto rewritten = RunQueryStrings(c2, program, "r@r(\"1\", Y)",
+                                   Strategy::kQsq);
+  EXPECT_EQ(top_down, rewritten);
+  EXPECT_EQ(top_down, (std::vector<std::string>{"2", "4"}));
+}
+
+TEST(QsqrTest, AnswerTablesMatchRewritingRealization) {
+  // The two realizations of QSQ must build the same adorned answer tables
+  // (the in_ tables too): the strongest cross-check between them.
+  const char* program = R"(
+    edge(a, b). edge(b, c). edge(c, d).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )";
+  DatalogContext c1, c2;
+  QueryResult td = RunQuery(c1, program, "path(b, Y)",
+                            Strategy::kQsqIterative);
+  QueryResult rw = RunQuery(c2, program, "path(b, Y)", Strategy::kQsq);
+  EXPECT_EQ(td.answer_facts, rw.answer_facts);
+  EXPECT_EQ(testing::AnswerStrings(td.answers, c1),
+            testing::AnswerStrings(rw.answers, c2));
+}
+
+TEST(QsqrTest, SameGenerationRecursion) {
+  const char* program = R"(
+    flat(a, q). flat(m, n).
+    up(a, e). up(e, m).
+    down(n, f). down(f, b).
+    sg(X, Y) :- flat(X, Y).
+    sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+  )";
+  DatalogContext ctx;
+  auto answers =
+      RunQueryStrings(ctx, program, "sg(a, Y)", Strategy::kQsqIterative);
+  EXPECT_EQ(answers, (std::vector<std::string>{"b", "q"}));
+}
+
+TEST(QsqrTest, FunctionSymbolsAndBoundDemand) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    zero(z).
+    num(X) :- zero(X).
+    num(s(X)) :- num(X).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  auto q = ParseQuery("num(s(s(z)))", ctx);
+  ASSERT_TRUE(q.ok());
+  Database db(&ctx);
+  EvalOptions opts;
+  opts.max_facts = 10000;
+  auto result = SolveQuery(*program, db, *q, Strategy::kQsqIterative, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->answers.size(), 1u);
+}
+
+TEST(QsqrTest, DisequalitiesRespected) {
+  DatalogContext ctx;
+  auto answers = RunQueryStrings(ctx, R"(
+    edge(a, b). edge(b, a). edge(b, c).
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Y) :- edge(X, Z), reach(Z, Y), X != Y.
+  )",
+                                 "reach(a, Y)", Strategy::kQsqIterative);
+  DatalogContext ctx2;
+  auto expected = RunQueryStrings(ctx2, R"(
+    edge(a, b). edge(b, a). edge(b, c).
+    reach(X, Y) :- edge(X, Y).
+    reach(X, Y) :- edge(X, Z), reach(Z, Y), X != Y.
+  )",
+                                  "reach(a, Y)", Strategy::kSemiNaive);
+  EXPECT_EQ(answers, expected);
+}
+
+TEST(QsqrTest, RejectsNegation) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    node(a). bad(b).
+    good(X) :- node(X), not bad(X).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  auto q = ParseQuery("good(X)", ctx);
+  ASSERT_TRUE(q.ok());
+  Database db(&ctx);
+  EXPECT_EQ(
+      SolveQuery(*program, db, *q, Strategy::kQsqIterative).status().code(),
+      StatusCode::kUnimplemented);
+}
+
+TEST(QsqrTest, BudgetOnDivergentDemand) {
+  // All-free demand on an infinite relation must hit the fact budget.
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    n(z).
+    n(s(X)) :- n(X).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  auto q = ParseQuery("n(X)", ctx);
+  ASSERT_TRUE(q.ok());
+  Database db(&ctx);
+  EvalOptions opts;
+  opts.max_facts = 200;
+  auto result = SolveQuery(*program, db, *q, Strategy::kQsqIterative, opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace dqsq

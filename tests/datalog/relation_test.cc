@@ -1,0 +1,79 @@
+#include "datalog/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsq {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  EXPECT_TRUE(rel.Insert(std::vector<TermId>{1, 2}));
+  EXPECT_FALSE(rel.Insert(std::vector<TermId>{1, 2}));
+  EXPECT_TRUE(rel.Insert(std::vector<TermId>{2, 1}));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(rel.Contains(std::vector<TermId>{1, 2}));
+  EXPECT_FALSE(rel.Contains(std::vector<TermId>{9, 9}));
+}
+
+TEST(RelationTest, RowsKeepInsertionOrder) {
+  Relation rel(1);
+  for (TermId t = 10; t < 20; ++t) rel.Insert(std::vector<TermId>{t});
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(rel.Row(i)[0], static_cast<TermId>(10 + i));
+  }
+}
+
+TEST(RelationTest, ZeroArityRelationHoldsOneTuple) {
+  Relation rel(0);
+  EXPECT_EQ(rel.size(), 0u);
+  EXPECT_FALSE(rel.Contains({}));
+  EXPECT_TRUE(rel.Insert({}));
+  EXPECT_FALSE(rel.Insert({}));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains({}));
+  EXPECT_TRUE(rel.Row(0).empty());
+}
+
+TEST(RelationTest, ProbeByMask) {
+  Relation rel(2);
+  rel.Insert(std::vector<TermId>{1, 10});
+  rel.Insert(std::vector<TermId>{1, 11});
+  rel.Insert(std::vector<TermId>{2, 10});
+  // Index on column 0.
+  auto& rows = rel.Probe(0b01, std::vector<TermId>{1});
+  EXPECT_EQ(rows.size(), 2u);
+  auto& rows2 = rel.Probe(0b10, std::vector<TermId>{10});
+  EXPECT_EQ(rows2.size(), 2u);
+  auto& rows3 = rel.Probe(0b11, std::vector<TermId>{2, 10});
+  ASSERT_EQ(rows3.size(), 1u);
+  EXPECT_EQ(rows3[0], 2u);
+  auto& none = rel.Probe(0b01, std::vector<TermId>{7});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(RelationTest, IndicesStayCurrentAcrossInserts) {
+  Relation rel(2);
+  rel.Insert(std::vector<TermId>{1, 10});
+  // Build the index, then insert more rows.
+  EXPECT_EQ(rel.Probe(0b01, std::vector<TermId>{1}).size(), 1u);
+  rel.Insert(std::vector<TermId>{1, 11});
+  rel.Insert(std::vector<TermId>{1, 12});
+  EXPECT_EQ(rel.Probe(0b01, std::vector<TermId>{1}).size(), 3u);
+  EXPECT_EQ(rel.num_indices(), 1u);
+}
+
+TEST(RelationTest, ManyTuplesStressDedup) {
+  Relation rel(2);
+  for (TermId a = 0; a < 50; ++a) {
+    for (TermId b = 0; b < 50; ++b) {
+      EXPECT_TRUE(rel.Insert(std::vector<TermId>{a, b}));
+    }
+  }
+  EXPECT_EQ(rel.size(), 2500u);
+  for (TermId a = 0; a < 50; ++a) {
+    EXPECT_FALSE(rel.Insert(std::vector<TermId>{a, a}));
+  }
+}
+
+}  // namespace
+}  // namespace dqsq

@@ -1,0 +1,143 @@
+#include "diagnosis/extensions.h"
+
+#include <gtest/gtest.h>
+
+#include "diagnosis/diagnoser.h"
+#include "petri/examples.h"
+
+namespace dqsq::diagnosis {
+namespace {
+
+std::vector<std::vector<std::string>> NamesOf(
+    const std::vector<Explanation>& explanations) {
+  // Strip the Skolem structure down to sorted transition names for
+  // readable assertions.
+  std::vector<std::vector<std::string>> out;
+  for (const Explanation& e : explanations) {
+    std::vector<std::string> names;
+    for (const std::string& term : e.events) {
+      // "f(tr_<name>,..." -> <name>
+      size_t start = term.find("tr_") + 3;
+      size_t end = term.find_first_of(",)", start);
+      names.push_back(term.substr(start, end - start));
+    }
+    std::sort(names.begin(), names.end());
+    out.push_back(std::move(names));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+DiagnosisResult RunPattern(const petri::PetriNet& net,
+                           std::map<std::string, AlarmAutomaton> automata,
+                           DiagnosisEngine engine) {
+  DiagnosisOptions opts;
+  opts.engine = engine;
+  auto result = DiagnosePattern(net, automata, opts);
+  DQSQ_CHECK_OK(result.status());
+  return *std::move(result);
+}
+
+TEST(ExtensionsTest, StarPatternOnCycleNet) {
+  // Cycle a -> b -> c; pattern a.b*.c admits exactly {t_a, t_b, t_c} (the
+  // direct "ac" shortcut is not executable) even though the unfolding is
+  // infinite.
+  petri::PetriNet net = petri::MakeCycleNet();
+  std::map<std::string, AlarmAutomaton> automata;
+  automata["p"] = StarPatternAutomaton("a", "b", "c");
+  DiagnosisResult r =
+      RunPattern(net, automata, DiagnosisEngine::kCentralQsq);
+  EXPECT_EQ(NamesOf(r.explanations),
+            (std::vector<std::vector<std::string>>{{"t_a", "t_b", "t_c"}}));
+}
+
+TEST(ExtensionsTest, AnyOrderPatternOnPaperNet) {
+  // "Two alarms from p2, any symbols": configurations {ii, iv} (a then c)
+  // and {ii, v} (concurrent a and b).
+  petri::PetriNet net = petri::MakePaperNet();
+  std::map<std::string, AlarmAutomaton> automata;
+  automata["p2"] = AnyOrderAutomaton({"a", "b", "c"}, 2);
+  DiagnosisResult r =
+      RunPattern(net, automata, DiagnosisEngine::kCentralQsq);
+  EXPECT_EQ(NamesOf(r.explanations),
+            (std::vector<std::vector<std::string>>{{"ii", "iv"},
+                                                   {"ii", "v"}}));
+}
+
+TEST(ExtensionsTest, PatternEnginesAgree) {
+  petri::PetriNet net = petri::MakePaperNet();
+  std::map<std::string, AlarmAutomaton> automata;
+  automata["p2"] = AnyOrderAutomaton({"a", "b", "c"}, 2);
+  auto qsq = RunPattern(net, automata, DiagnosisEngine::kCentralQsq);
+  auto magic = RunPattern(net, automata, DiagnosisEngine::kCentralMagic);
+  auto dist = RunPattern(net, automata, DiagnosisEngine::kDistQsq);
+  EXPECT_EQ(qsq.explanations, magic.explanations);
+  EXPECT_EQ(qsq.explanations, dist.explanations);
+}
+
+TEST(ExtensionsTest, ForbiddenSubsequenceBlocksConfigurations) {
+  petri::PetriNet net = petri::MakeCycleNet();
+  // All observations of length <= 3 avoiding contiguous "b": only the
+  // empty one and "a".
+  std::map<std::string, AlarmAutomaton> automata;
+  automata["p"] =
+      ForbiddenSubsequenceAutomaton({"a", "b", "c"}, {"b"}, 3);
+  DiagnosisResult r =
+      RunPattern(net, automata, DiagnosisEngine::kCentralQsq);
+  EXPECT_EQ(NamesOf(r.explanations),
+            (std::vector<std::vector<std::string>>{{}, {"t_a"}}));
+}
+
+TEST(ExtensionsTest, ForbiddenTwoSymbolSubsequence) {
+  petri::PetriNet net = petri::MakeCycleNet();
+  // Forbid contiguous "bc": length <= 3 observations are "", a, ab, abc;
+  // abc contains bc, so three remain.
+  std::map<std::string, AlarmAutomaton> automata;
+  automata["p"] =
+      ForbiddenSubsequenceAutomaton({"a", "b", "c"}, {"b", "c"}, 3);
+  DiagnosisResult r =
+      RunPattern(net, automata, DiagnosisEngine::kCentralQsq);
+  EXPECT_EQ(NamesOf(r.explanations),
+            (std::vector<std::vector<std::string>>{
+                {}, {"t_a"}, {"t_a", "t_b"}}));
+}
+
+TEST(ExtensionsTest, PatternRejectedForNonDatalogEngines) {
+  petri::PetriNet net = petri::MakeCycleNet();
+  std::map<std::string, AlarmAutomaton> automata;
+  automata["p"] = ChainAutomaton({"a"});
+  DiagnosisOptions opts;
+  opts.engine = DiagnosisEngine::kReference;
+  EXPECT_EQ(DiagnosePattern(net, automata, opts).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(ExtensionsTest, PatternMatchingChainEqualsSequenceDiagnosis) {
+  // Sanity: the chain automaton reduces pattern diagnosis to the base
+  // problem.
+  petri::PetriNet net = petri::MakePaperNet();
+  std::map<std::string, AlarmAutomaton> automata;
+  automata["p1"] = ChainAutomaton({"b", "c"});
+  automata["p2"] = ChainAutomaton({"a"});
+  auto pattern = RunPattern(net, automata, DiagnosisEngine::kCentralQsq);
+
+  DiagnosisOptions opts;
+  opts.engine = DiagnosisEngine::kCentralQsq;
+  auto sequence = Diagnose(
+      net, petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}, {"c", "p1"}}), opts);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(pattern.explanations, sequence->explanations);
+}
+
+TEST(ExtensionsTest, AutomatonWithoutAcceptingStatesRejected) {
+  petri::PetriNet net = petri::MakeCycleNet();
+  std::map<std::string, AlarmAutomaton> automata;
+  AlarmAutomaton bad;
+  bad.num_states = 1;
+  automata["p"] = bad;
+  DiagnosisOptions opts;
+  EXPECT_FALSE(DiagnosePattern(net, automata, opts).ok());
+}
+
+}  // namespace
+}  // namespace dqsq::diagnosis

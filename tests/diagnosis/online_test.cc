@@ -1,0 +1,114 @@
+#include "diagnosis/online.h"
+
+#include <gtest/gtest.h>
+
+#include "diagnosis/diagnoser.h"
+#include "petri/examples.h"
+
+namespace dqsq::diagnosis {
+namespace {
+
+std::vector<Explanation> Batch(const petri::PetriNet& net,
+                               const petri::AlarmSequence& alarms) {
+  DiagnosisOptions opts;
+  opts.engine = DiagnosisEngine::kCentralQsq;
+  auto result = Diagnose(net, alarms, opts);
+  DQSQ_CHECK_OK(result.status());
+  return result->explanations;
+}
+
+TEST(OnlineDiagnoserTest, MatchesBatchOnEveryPrefix) {
+  petri::PetriNet net = petri::MakePaperNet();
+  petri::AlarmSequence alarms = petri::MakeAlarms(
+      {{"b", "p1"}, {"a", "p2"}, {"c", "p1"}});
+  auto online = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(online.ok()) << online.status().ToString();
+
+  // Empty prefix.
+  auto current = online->Current();
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(*current, Batch(net, {}));
+
+  petri::AlarmSequence prefix;
+  for (const petri::Alarm& alarm : alarms) {
+    prefix.push_back(alarm);
+    auto result = online->Observe(alarm);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(*result, Batch(net, prefix))
+        << "prefix " << petri::AlarmSequenceToString(prefix);
+  }
+  EXPECT_EQ(online->num_observed(), 3u);
+}
+
+TEST(OnlineDiagnoserTest, PrefixWithNoExplanationThenNothingLater) {
+  petri::PetriNet net = petri::MakePaperNet();
+  auto online = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(online.ok());
+  // (c,p1) first: c needs place 2, never marked initially.
+  auto r1 = online->Observe({"c", "p1"});
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->empty());
+  auto r2 = online->Observe({"b", "p1"});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->empty());
+}
+
+TEST(OnlineDiagnoserTest, IncrementalStepsReuseMaterialization) {
+  // The final step's incremental delta is smaller than what a from-scratch
+  // batch run of the same prefix derives in total: the unfolding fragment
+  // and cfgp prefixes materialized at earlier steps are reused.
+  petri::PetriNet net = petri::MakePaperNet(/*with_loop=*/true);
+  petri::AlarmSequence prefix = petri::MakeAlarms(
+      {{"a", "p2"}, {"c", "p2"}, {"a", "p2"}});
+  auto online = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(online.ok());
+  for (const petri::Alarm& alarm : prefix) {
+    ASSERT_TRUE(online->Observe(alarm).ok());
+  }
+  size_t last_delta = online->last_step_new_facts();
+  EXPECT_GT(last_delta, 0u);
+
+  DiagnosisOptions opts;
+  opts.engine = DiagnosisEngine::kCentralQsq;
+  auto fresh = Diagnose(net, prefix, opts);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_LT(last_delta, fresh->total_facts);
+}
+
+TEST(OnlineDiagnoserTest, UnknownPeerRejected) {
+  petri::PetriNet net = petri::MakePaperNet();
+  auto online = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(online.ok());
+  auto result = online->Observe({"a", "nope"});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OnlineDiagnoserTest, CurrentIsCachedBetweenObserves) {
+  petri::PetriNet net = petri::MakePaperNet();
+  auto online = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(online.ok());
+  ASSERT_TRUE(online->Observe({"b", "p1"}).ok());
+  size_t facts = online->total_facts();
+  auto again = online->Current();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(online->total_facts(), facts);  // no re-evaluation
+}
+
+TEST(OnlineDiagnoserTest, InterleavedPeersMatchBatch) {
+  petri::PetriNet net = petri::MakePaperNet(/*with_loop=*/true);
+  petri::AlarmSequence alarms = petri::MakeAlarms(
+      {{"a", "p2"}, {"b", "p1"}, {"c", "p2"}, {"a", "p2"}});
+  auto online = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(online.ok());
+  petri::AlarmSequence prefix;
+  for (const petri::Alarm& alarm : alarms) {
+    prefix.push_back(alarm);
+    auto result = online->Observe(alarm);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result, Batch(net, prefix))
+        << petri::AlarmSequenceToString(prefix);
+  }
+}
+
+}  // namespace
+}  // namespace dqsq::diagnosis

@@ -1,0 +1,77 @@
+// Parameterized property sweep over random telecom-style nets: for each
+// seed, generate a net and an observation from a real run, then check the
+// full claim ladder — engine agreement (Theorem 3 + 1), Theorem 4
+// materialization equality, and ground-truth containment.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "diagnosis/diagnoser.h"
+#include "petri/random_net.h"
+
+namespace dqsq::diagnosis {
+namespace {
+
+struct Case {
+  petri::PetriNet net;
+  petri::AlarmSequence observation;
+};
+
+Case MakeCase(uint64_t seed) {
+  Rng rng(seed);
+  petri::RandomNetOptions ropts;
+  ropts.num_peers = 2 + seed % 2;
+  ropts.places_per_peer = 3;
+  ropts.transitions_per_peer = 3;
+  ropts.sync_probability = 0.3 + 0.1 * (seed % 3);
+  ropts.num_alarm_symbols = 2;
+  Case c{petri::MakeRandomNet(ropts, rng), {}};
+  auto run = petri::GenerateRun(c.net, 2 + seed % 3, rng);
+  DQSQ_CHECK_OK(run.status());
+  c.observation = run->observation;
+  return c;
+}
+
+class DiagnosisPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DiagnosisPropertyTest, EnginesAgreeAndContainGroundTruth) {
+  Case c = MakeCase(GetParam());
+  SCOPED_TRACE(petri::AlarmSequenceToString(c.observation));
+
+  std::vector<Explanation> expected;
+  bool first = true;
+  for (auto engine :
+       {DiagnosisEngine::kReference, DiagnosisEngine::kBfhj,
+        DiagnosisEngine::kCentralQsq, DiagnosisEngine::kCentralMagic}) {
+    DiagnosisOptions opts;
+    opts.engine = engine;
+    auto result = Diagnose(c.net, c.observation, opts);
+    ASSERT_TRUE(result.ok())
+        << EngineName(engine) << ": " << result.status().ToString();
+    if (first) {
+      expected = result->explanations;
+      // The observation came from a real run.
+      EXPECT_FALSE(expected.empty());
+      first = false;
+    } else {
+      EXPECT_EQ(result->explanations, expected) << EngineName(engine);
+    }
+  }
+}
+
+TEST_P(DiagnosisPropertyTest, Theorem4ExactMaterialization) {
+  Case c = MakeCase(GetParam());
+  SCOPED_TRACE(petri::AlarmSequenceToString(c.observation));
+  DiagnosisOptions qopts, bopts;
+  qopts.engine = DiagnosisEngine::kCentralQsq;
+  bopts.engine = DiagnosisEngine::kBfhj;
+  auto qsq = Diagnose(c.net, c.observation, qopts);
+  auto bfhj = Diagnose(c.net, c.observation, bopts);
+  ASSERT_TRUE(qsq.ok() && bfhj.ok());
+  EXPECT_EQ(qsq->materialized_events, bfhj->materialized_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DiagnosisPropertyTest,
+                         ::testing::Range<uint64_t>(100, 118));
+
+}  // namespace
+}  // namespace dqsq::diagnosis

@@ -1,0 +1,83 @@
+#include "dist/global.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/engine.h"
+#include "tests/test_util.h"
+
+namespace dqsq::dist {
+namespace {
+
+TEST(GlobalProgramTest, AppendsPeerColumn) {
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  auto global = GlobalProgram(*program, ctx);
+  ASSERT_TRUE(global.ok());
+  ASSERT_EQ(global->rules.size(), 1u);
+  const Rule& rule = global->rules[0];
+  // r_g has arity 3 and lives at the local peer.
+  EXPECT_EQ(ctx.PredicateName(rule.head.rel.pred), "r_g");
+  EXPECT_EQ(ctx.PredicateArity(rule.head.rel.pred), 3u);
+  EXPECT_EQ(rule.head.rel.peer, ctx.local_peer());
+  // The extra argument is the peer-name constant.
+  EXPECT_EQ(RuleToString(rule, ctx),
+            "r_g(X,Y,r) :- s_g(X,Z,s), t_g(Z,Y,t).");
+}
+
+TEST(GlobalProgramTest, FactsTranslate) {
+  DatalogContext ctx;
+  auto program = ParseProgram("a@paris(x, y).", ctx);
+  ASSERT_TRUE(program.ok());
+  auto global = GlobalProgram(*program, ctx);
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(RuleToString(global->rules[0], ctx), "a_g(x,y,paris).");
+}
+
+TEST(GlobalProgramTest, QueryTranslates) {
+  DatalogContext ctx;
+  auto q = ParseQuery("r@r(\"1\", Y)", ctx);
+  ASSERT_TRUE(q.ok());
+  auto gq = GlobalQuery(*q, ctx);
+  ASSERT_TRUE(gq.ok());
+  EXPECT_EQ(gq->atom.args.size(), 3u);
+  EXPECT_EQ(gq->num_vars, 1u);
+}
+
+TEST(GlobalProgramTest, SamePredicateDifferentPeersDisambiguated) {
+  // stock@paris and stock@rome map to one stock_g with the peer column
+  // separating them — the paper's canonical semantics.
+  DatalogContext ctx;
+  auto program = ParseProgram(R"(
+    stock@paris(wine).
+    stock@rome(pasta).
+    menu@paris(X) :- stock@paris(X).
+  )",
+                              ctx);
+  ASSERT_TRUE(program.ok());
+  auto global = GlobalProgram(*program, ctx);
+  ASSERT_TRUE(global.ok());
+  auto gq = ParseQuery("menu_g(X, paris)", ctx);
+  ASSERT_TRUE(gq.ok());
+  Database db(&ctx);
+  auto result = SolveQuery(*global, db, *gq, Strategy::kSemiNaive);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(testing::AnswerStrings(result->answers, ctx),
+            (std::vector<std::string>{"wine"}));
+}
+
+TEST(GlobalProgramTest, DiseqsPreserved) {
+  DatalogContext ctx;
+  auto program = ParseProgram(
+      "p@a(X, Y) :- q@a(X), q@b(Y), X != Y.", ctx);
+  ASSERT_TRUE(program.ok());
+  auto global = GlobalProgram(*program, ctx);
+  ASSERT_TRUE(global.ok());
+  EXPECT_EQ(global->rules[0].diseqs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dqsq::dist

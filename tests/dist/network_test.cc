@@ -1,0 +1,133 @@
+#include "dist/network.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsq::dist {
+namespace {
+
+// Records deliveries; optionally forwards once to a next hop.
+class EchoPeer : public PeerNode {
+ public:
+  EchoPeer(SymbolId id, SymbolId next, int forwards)
+      : id_(id), next_(next), forwards_(forwards) {}
+
+  Status OnMessage(const Message& message, SimNetwork& network) override {
+    received.push_back(message);
+    if (forwards_ > 0) {
+      --forwards_;
+      Message m = message;
+      m.from = id_;
+      m.to = next_;
+      network.Send(std::move(m));
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Message> received;
+
+ private:
+  SymbolId id_;
+  SymbolId next_;
+  int forwards_;
+};
+
+TEST(SimNetworkTest, FifoPerChannel) {
+  SimNetwork net(1);
+  EchoPeer a(1, 2, 0), b(2, 1, 0);
+  net.Register(1, &a);
+  net.Register(2, &b);
+  for (uint32_t i = 0; i < 10; ++i) {
+    Message m;
+    m.kind = MessageKind::kTuples;
+    m.from = 1;
+    m.to = 2;
+    m.rel = RelId{i, 0};
+    net.Send(std::move(m));
+  }
+  ASSERT_TRUE(net.RunToQuiescence().ok());
+  ASSERT_EQ(b.received.size(), 10u);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(b.received[i].rel.pred, i);  // channel order preserved
+  }
+}
+
+TEST(SimNetworkTest, CrossChannelOrderIsSeedDependentButDeterministic) {
+  auto run = [](uint64_t seed) {
+    SimNetwork net(seed);
+    EchoPeer sink(3, 3, 0);
+    EchoPeer src1(1, 3, 0), src2(2, 3, 0);
+    net.Register(1, &src1);
+    net.Register(2, &src2);
+    net.Register(3, &sink);
+    for (uint32_t i = 0; i < 6; ++i) {
+      Message m;
+      m.kind = MessageKind::kTuples;
+      m.from = (i % 2) ? 1 : 2;
+      m.to = 3;
+      m.rel = RelId{i, 0};
+      net.Send(std::move(m));
+    }
+    DQSQ_CHECK_OK(net.RunToQuiescence());
+    std::vector<uint32_t> order;
+    for (const Message& m : sink.received) order.push_back(m.rel.pred);
+    return order;
+  };
+  EXPECT_EQ(run(7), run(7));  // deterministic for a seed
+  // Some seed pair interleaves differently (cross-channel asynchrony).
+  bool differs = false;
+  auto base = run(1);
+  for (uint64_t seed = 2; seed < 10 && !differs; ++seed) {
+    differs = (run(seed) != base);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SimNetworkTest, QuiescenceAndStats) {
+  SimNetwork net(1);
+  EchoPeer a(1, 2, 3), b(2, 1, 3);  // ping-pong, 3 forwards each
+  net.Register(1, &a);
+  net.Register(2, &b);
+  EXPECT_TRUE(net.Quiescent());
+  Message m;
+  m.kind = MessageKind::kTuples;
+  m.from = 1;
+  m.to = 2;
+  m.tuples = {{1, 2}, {3, 4}};
+  net.Send(std::move(m));
+  EXPECT_FALSE(net.Quiescent());
+  ASSERT_TRUE(net.RunToQuiescence().ok());
+  EXPECT_TRUE(net.Quiescent());
+  // 1 initial + 6 forwards = 7 deliveries; each carries 2 tuples.
+  EXPECT_EQ(net.stats().messages_delivered, 7u);
+  EXPECT_EQ(net.stats().tuples_shipped, 14u);
+}
+
+TEST(SimNetworkTest, StepBudgetEnforced) {
+  SimNetwork net(1);
+  // Infinite ping-pong.
+  class Forever : public PeerNode {
+   public:
+    explicit Forever(SymbolId id) : id_(id) {}
+    Status OnMessage(const Message& message, SimNetwork& network) override {
+      Message m = message;
+      m.from = id_;
+      m.to = message.from;
+      network.Send(std::move(m));
+      return Status::Ok();
+    }
+    SymbolId id_;
+  };
+  Forever a(1), b(2);
+  net.Register(1, &a);
+  net.Register(2, &b);
+  Message m;
+  m.kind = MessageKind::kTuples;
+  m.from = 1;
+  m.to = 2;
+  net.Send(std::move(m));
+  Status s = net.RunToQuiescence(100);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace dqsq::dist

@@ -1,0 +1,69 @@
+#include "dist/termination.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsq::dist {
+namespace {
+
+TEST(DsNodeTest, EngagementLifecycle) {
+  DsNode node(/*is_root=*/false);
+  EXPECT_FALSE(node.engaged());
+  // First basic message engages, ack deferred.
+  EXPECT_FALSE(node.OnReceiveBasic(7));
+  EXPECT_TRUE(node.engaged());
+  EXPECT_EQ(node.parent(), 7u);
+  // Later messages are acked immediately.
+  EXPECT_TRUE(node.OnReceiveBasic(9));
+  // With deficit, cannot disengage.
+  node.OnSendBasic();
+  EXPECT_FALSE(node.TryDisengage());
+  node.OnReceiveAck();
+  EXPECT_TRUE(node.TryDisengage());
+  EXPECT_FALSE(node.engaged());
+}
+
+TEST(DsNodeTest, RootStartsEngaged) {
+  DsNode root(/*is_root=*/true);
+  EXPECT_TRUE(root.engaged());
+  EXPECT_TRUE(root.TryDisengage());  // no work sent: immediate detection
+}
+
+TEST(DijkstraScholtenTest, DetectsTerminationExactlyAtQuiescence) {
+  // Across many random executions, the root must always detect
+  // termination, and at that instant the network must be quiescent (the
+  // safety property of the algorithm).
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    auto result = RunDiffusingComputation(/*num_nodes=*/5,
+                                          /*total_work=*/40,
+                                          /*max_fanout=*/3, seed);
+    ASSERT_TRUE(result.ok()) << "seed " << seed;
+    EXPECT_TRUE(result->detected) << "seed " << seed;
+    EXPECT_TRUE(result->quiescent_at_detection) << "seed " << seed;
+    // Every basic message is eventually acknowledged.
+    EXPECT_EQ(result->ack_messages, result->basic_messages)
+        << "seed " << seed;
+  }
+}
+
+TEST(DijkstraScholtenTest, SingleNodeTerminatesImmediately) {
+  auto result = RunDiffusingComputation(1, 10, 2, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->detected);
+  EXPECT_TRUE(result->quiescent_at_detection);
+}
+
+TEST(DijkstraScholtenTest, LargeFanOut) {
+  auto result = RunDiffusingComputation(12, 500, 4, 11);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->detected);
+  EXPECT_TRUE(result->quiescent_at_detection);
+  EXPECT_GT(result->work_items, 100u);
+}
+
+TEST(DijkstraScholtenTest, ZeroNodesRejected) {
+  auto result = RunDiffusingComputation(0, 1, 1, 1);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace dqsq::dist

@@ -1,0 +1,77 @@
+#include "petri/alarm.h"
+
+#include <gtest/gtest.h>
+
+#include "petri/examples.h"
+#include "petri/random_net.h"
+
+namespace dqsq::petri {
+namespace {
+
+TEST(AlarmTest, ToStringAndSplit) {
+  AlarmSequence a =
+      MakeAlarms({{"b", "p1"}, {"a", "p2"}, {"c", "p1"}});
+  EXPECT_EQ(AlarmSequenceToString(a), "(b,p1)(a,p2)(c,p1)");
+  auto split = SplitByPeer(a);
+  EXPECT_EQ(split["p1"], (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(split["p2"], (std::vector<std::string>{"a"}));
+}
+
+TEST(AlarmTest, GeneratedRunFollowsTokenGame) {
+  PetriNet net = MakePaperNet(/*with_loop=*/true);
+  Rng rng(17);
+  auto run = GenerateRun(net, 6, rng);
+  ASSERT_TRUE(run.ok());
+  // Replay the firing sequence to confirm it is a legal run.
+  Marking m = net.initial_marking();
+  for (TransitionId t : run->firing_sequence) {
+    auto next = net.Fire(m, t);
+    ASSERT_TRUE(next.ok());
+    m = *std::move(next);
+  }
+}
+
+TEST(AlarmTest, ObservationPreservesPerPeerOrder) {
+  PetriNet net = MakePaperNet(/*with_loop=*/true);
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    auto run = GenerateRun(net, 8, rng);
+    ASSERT_TRUE(run.ok());
+    // Per-peer projection of the observation equals the per-peer emission
+    // order of the run.
+    std::map<std::string, std::vector<std::string>> emitted;
+    for (TransitionId t : run->firing_sequence) {
+      const Transition& tr = net.transition(t);
+      if (tr.observable) {
+        emitted[net.peer_name(tr.peer)].push_back(tr.alarm);
+      }
+    }
+    EXPECT_EQ(SplitByPeer(run->observation), emitted) << "seed " << seed;
+  }
+}
+
+TEST(AlarmTest, HiddenTransitionsAreNotObserved) {
+  Rng net_rng(5);
+  RandomNetOptions opts;
+  opts.num_peers = 2;
+  opts.hidden_probability = 1.0;  // every transition hidden
+  PetriNet net = MakeRandomNet(opts, net_rng);
+  Rng rng(6);
+  auto run = GenerateRun(net, 10, rng);
+  ASSERT_TRUE(run.ok());
+  EXPECT_FALSE(run->firing_sequence.empty());
+  EXPECT_TRUE(run->observation.empty());
+}
+
+TEST(AlarmTest, DeterministicForSeed) {
+  PetriNet net = MakePaperNet(true);
+  Rng rng1(99), rng2(99);
+  auto r1 = GenerateRun(net, 10, rng1);
+  auto r2 = GenerateRun(net, 10, rng2);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->firing_sequence, r2->firing_sequence);
+  EXPECT_TRUE(r1->observation == r2->observation);
+}
+
+}  // namespace
+}  // namespace dqsq::petri

@@ -1,0 +1,109 @@
+#include "petri/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "petri/configuration.h"
+#include "petri/examples.h"
+#include "petri/random_net.h"
+
+namespace dqsq::petri {
+namespace {
+
+TEST(AnalysisTest, CycleNetStateSpace) {
+  PetriNet net = MakeCycleNet();
+  auto graph = BuildReachabilityGraph(net, 1000);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->complete);
+  EXPECT_EQ(graph->num_markings(), 3u);  // s0, s1, s2
+  EXPECT_EQ(graph->num_edges(), 3u);     // the cycle
+  NetAnalysis analysis = Analyze(net, *graph);
+  EXPECT_TRUE(analysis.deadlocks.empty());
+  EXPECT_TRUE(analysis.dead_transitions.empty());
+  EXPECT_TRUE(analysis.reversible);
+  EXPECT_EQ(analysis.fireable_transitions.size(), 3u);
+}
+
+TEST(AnalysisTest, PaperNetDeadlocksAndDeadTransitions) {
+  PetriNet net = MakePaperNet();
+  auto analysis = AnalyzeNet(net);
+  ASSERT_TRUE(analysis.ok());
+  // Place 7 is never reproduced: eventually every branch stops.
+  EXPECT_FALSE(analysis->deadlocks.empty());
+  // All five transitions can fire at least once.
+  EXPECT_TRUE(analysis->dead_transitions.empty());
+  EXPECT_FALSE(analysis->reversible);
+}
+
+TEST(AnalysisTest, DetectsDeadTransition) {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("p");
+  PlaceId a = net.AddPlace("a", p);
+  PlaceId b = net.AddPlace("b", p);
+  PlaceId c = net.AddPlace("c", p);  // never marked
+  net.AddTransition("live", p, "x", {a}, {b}, true);
+  net.AddTransition("dead", p, "y", {c}, {a}, true);
+  net.SetInitialMarking({a});
+  auto analysis = AnalyzeNet(net);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_EQ(analysis->dead_transitions.size(), 1u);
+  EXPECT_EQ(net.transition(analysis->dead_transitions[0]).name, "dead");
+}
+
+TEST(AnalysisTest, BudgetTruncationReported) {
+  // A net with a large state space: 12 independent toggles -> 2^12
+  // markings.
+  PetriNet net;
+  PeerIndex p = net.AddPeer("p");
+  std::vector<PlaceId> init;
+  for (int i = 0; i < 12; ++i) {
+    PlaceId off = net.AddPlace("off" + std::to_string(i), p);
+    PlaceId on = net.AddPlace("on" + std::to_string(i), p);
+    net.AddTransition("t" + std::to_string(i), p, "a", {off}, {on}, true);
+    net.AddTransition("u" + std::to_string(i), p, "b", {on}, {off}, true);
+    init.push_back(off);
+  }
+  net.SetInitialMarking(init);
+  auto graph = BuildReachabilityGraph(net, 100);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE(graph->complete);
+  EXPECT_EQ(graph->num_markings(), 100u);
+
+  auto full = BuildReachabilityGraph(net, 10000);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(full->complete);
+  EXPECT_EQ(full->num_markings(), 4096u);
+}
+
+TEST(AnalysisTest, ReachabilityMatchesUnfoldingMarkings) {
+  // Every marking reached by a configuration of the unfolding prefix is in
+  // the reachability graph (interleaving vs partial-order semantics).
+  for (uint64_t seed = 3; seed <= 6; ++seed) {
+    Rng rng(seed);
+    RandomNetOptions ropts;
+    ropts.num_peers = 2;
+    ropts.places_per_peer = 3;
+    ropts.transitions_per_peer = 3;
+    PetriNet net = MakeRandomNet(ropts, rng);
+    auto graph = BuildReachabilityGraph(net, 10000);
+    ASSERT_TRUE(graph.ok()) << "seed " << seed;
+    std::set<Marking> reachable(graph->markings.begin(),
+                                graph->markings.end());
+    UnfoldOptions uopts;
+    uopts.max_depth = 3;
+    uopts.max_events = 500;
+    auto u = Unfolding::Build(net, uopts);
+    ASSERT_TRUE(u.ok());
+    // Check local configurations of all events.
+    for (EventId e = 0; e < u->num_events(); ++e) {
+      Configuration c = u->LocalConfiguration(e);
+      EXPECT_TRUE(reachable.contains(MarkingOf(*u, c)))
+          << "seed " << seed << " event " << e;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqsq::petri

@@ -1,0 +1,109 @@
+#include "petri/configuration.h"
+
+#include <gtest/gtest.h>
+
+#include "petri/examples.h"
+
+namespace dqsq::petri {
+namespace {
+
+class PaperConfigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = MakePaperNet();
+    auto u = Unfolding::Build(net_, UnfoldOptions{});
+    ASSERT_TRUE(u.ok());
+    u_ = std::make_unique<Unfolding>(*std::move(u));
+    for (EventId e = 0; e < u_->num_events(); ++e) {
+      by_name_[net_.transition(u_->event(e).transition).name] = e;
+    }
+  }
+
+  Configuration Config(const std::vector<std::string>& names) {
+    std::vector<EventId> events;
+    for (const std::string& n : names) events.push_back(by_name_.at(n));
+    return Canonical(std::move(events));
+  }
+
+  PetriNet net_;
+  std::unique_ptr<Unfolding> u_;
+  std::map<std::string, EventId> by_name_;
+};
+
+TEST_F(PaperConfigTest, ValidConfigurations) {
+  EXPECT_TRUE(IsConfiguration(*u_, Config({})));
+  EXPECT_TRUE(IsConfiguration(*u_, Config({"i"})));
+  EXPECT_TRUE(IsConfiguration(*u_, Config({"i", "ii", "iii"})));
+  EXPECT_TRUE(IsConfiguration(*u_, Config({"ii", "iv"})));
+  EXPECT_TRUE(IsConfiguration(*u_, Config({"v", "ii"})));
+}
+
+TEST_F(PaperConfigTest, DownwardClosureViolation) {
+  // iii without its cause i.
+  EXPECT_FALSE(IsConfiguration(*u_, Config({"iii"})));
+  // iv without ii.
+  EXPECT_FALSE(IsConfiguration(*u_, Config({"iv"})));
+}
+
+TEST_F(PaperConfigTest, ConflictViolation) {
+  // i and v consume the same root condition (place 7).
+  EXPECT_FALSE(IsConfiguration(*u_, Config({"i", "v"})));
+  EXPECT_FALSE(IsConfiguration(*u_, Config({"i", "iii", "v"})));
+}
+
+TEST_F(PaperConfigTest, CutAndMarking) {
+  Configuration c = Config({"i", "ii", "iii"});
+  Marking m = MarkingOf(*u_, c);
+  // After i, ii, iii: places 1 (reproduced by iii), 3 (from i), 5 (from
+  // ii) are marked; 4, 7 consumed.
+  auto marked = [&](const std::string& name) {
+    for (PlaceId p = 0; p < net_.num_places(); ++p) {
+      if (net_.place(p).name == name) return static_cast<bool>(m[p]);
+    }
+    return false;
+  };
+  EXPECT_TRUE(marked("1"));
+  EXPECT_TRUE(marked("3"));
+  EXPECT_TRUE(marked("5"));
+  EXPECT_FALSE(marked("2"));
+  EXPECT_FALSE(marked("4"));
+  EXPECT_FALSE(marked("7"));
+  EXPECT_EQ(CutOf(*u_, c).size(), 3u);
+}
+
+TEST_F(PaperConfigTest, EmptyConfigurationCutIsRoots) {
+  EXPECT_EQ(CutOf(*u_, {}), u_->roots());
+  Marking m = MarkingOf(*u_, {});
+  EXPECT_EQ(m, net_.initial_marking());
+}
+
+TEST_F(PaperConfigTest, LinearizationsRespectCausality) {
+  Configuration c = Config({"i", "ii", "iii"});
+  std::vector<std::vector<EventId>> lins;
+  EXPECT_TRUE(Linearizations(*u_, c, 100, &lins));
+  // i < iii always; ii is free: orders = 3 positions for ii = 3.
+  EXPECT_EQ(lins.size(), 3u);
+  for (const auto& lin : lins) {
+    size_t pos_i = 0, pos_iii = 0;
+    for (size_t k = 0; k < lin.size(); ++k) {
+      if (lin[k] == by_name_.at("i")) pos_i = k;
+      if (lin[k] == by_name_.at("iii")) pos_iii = k;
+    }
+    EXPECT_LT(pos_i, pos_iii);
+  }
+}
+
+TEST_F(PaperConfigTest, LinearizationsHonorLimit) {
+  Configuration c = Config({"i", "ii", "iii"});
+  std::vector<std::vector<EventId>> lins;
+  EXPECT_FALSE(Linearizations(*u_, c, 2, &lins));
+  EXPECT_EQ(lins.size(), 2u);
+}
+
+TEST(ConfigurationTest, CanonicalSortsAndDedups) {
+  EXPECT_EQ(Canonical({3, 1, 2, 1}), (Configuration{1, 2, 3}));
+  EXPECT_EQ(Canonical({}), Configuration{});
+}
+
+}  // namespace
+}  // namespace dqsq::petri

@@ -1,0 +1,76 @@
+#include "petri/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "petri/examples.h"
+
+namespace dqsq::petri {
+namespace {
+
+TEST(DotTest, NetRendering) {
+  PetriNet net = MakePaperNet();
+  std::string dot = NetToDot(net);
+  EXPECT_NE(dot.find("digraph net"), std::string::npos);
+  // Peer clusters.
+  EXPECT_NE(dot.find("label=\"p1\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"p2\""), std::string::npos);
+  // Transition i with its alarm.
+  EXPECT_NE(dot.find("i [b]"), std::string::npos);
+  // Marked places rendered bold.
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DotTest, UnfoldingHighlightsConfiguration) {
+  PetriNet net = MakePaperNet();
+  auto u = Unfolding::Build(net, UnfoldOptions{});
+  ASSERT_TRUE(u.ok());
+  // Highlight the paper's shaded configuration {i, ii, iii}.
+  Configuration shaded;
+  for (EventId e = 0; e < u->num_events(); ++e) {
+    const std::string& name = net.transition(u->event(e).transition).name;
+    if (name == "i" || name == "ii" || name == "iii") shaded.push_back(e);
+  }
+  shaded = Canonical(std::move(shaded));
+  std::string plain = UnfoldingToDot(*u, nullptr);
+  std::string hl = UnfoldingToDot(*u, &shaded);
+  EXPECT_EQ(plain.find("fillcolor=gray70"), std::string::npos);
+  EXPECT_NE(hl.find("fillcolor=gray70"), std::string::npos);
+  // All five events rendered in both.
+  for (const char* name : {"i [b]", "ii [a]", "iii [c]", "iv [c]", "v [b]"}) {
+    EXPECT_NE(plain.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(DotTest, ExplanationDagHasCausalEdges) {
+  PetriNet net = MakePaperNet();
+  auto u = Unfolding::Build(net, UnfoldOptions{});
+  ASSERT_TRUE(u.ok());
+  Configuration config;
+  for (EventId e = 0; e < u->num_events(); ++e) {
+    const std::string& name = net.transition(u->event(e).transition).name;
+    if (name == "i" || name == "iii") config.push_back(e);
+  }
+  config = Canonical(std::move(config));
+  std::string dot = ExplanationToDot(*u, config);
+  // One causal edge i -> iii labeled with the connecting place "2".
+  EXPECT_NE(dot.find("label=\"2\""), std::string::npos);
+  EXPECT_NE(dot.find("-> e"), std::string::npos);
+}
+
+TEST(DotTest, EscapesQuotes) {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("pe\"er");
+  PlaceId a = net.AddPlace("pl\"ace", p);
+  PlaceId b = net.AddPlace("b", p);
+  net.AddTransition("t", p, "al\"arm", {a}, {b}, true);
+  net.SetInitialMarking({a});
+  std::string dot = NetToDot(net);
+  EXPECT_NE(dot.find("pl\\\"ace"), std::string::npos);
+  EXPECT_NE(dot.find("al\\\"arm"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dqsq::petri

@@ -1,0 +1,166 @@
+#include "petri/net.h"
+
+#include <gtest/gtest.h>
+
+#include "petri/builder.h"
+#include "petri/examples.h"
+
+namespace dqsq::petri {
+namespace {
+
+TEST(PetriNetTest, PaperNetStructureMatchesPaperFacts) {
+  PetriNet net = MakePaperNet();
+  EXPECT_EQ(net.num_peers(), 2u);
+  EXPECT_EQ(net.num_places(), 8u);
+  EXPECT_EQ(net.num_transitions(), 5u);
+
+  // α(i) = b, φ(i) = p1, •i = {1,7}, i• = {2,3}.
+  const Transition& i = net.transition(0);
+  EXPECT_EQ(i.name, "i");
+  EXPECT_EQ(i.alarm, "b");
+  EXPECT_EQ(net.peer_name(i.peer), "p1");
+  ASSERT_EQ(i.pre.size(), 2u);
+  EXPECT_EQ(net.place(i.pre[0]).name, "1");
+  EXPECT_EQ(net.place(i.pre[1]).name, "7");
+  ASSERT_EQ(i.post.size(), 2u);
+  EXPECT_EQ(net.place(i.post[0]).name, "2");
+  EXPECT_EQ(net.place(i.post[1]).name, "3");
+
+  // Transitions i, ii and v are enabled initially.
+  std::vector<std::string> enabled;
+  for (TransitionId t : net.EnabledTransitions(net.initial_marking())) {
+    enabled.push_back(net.transition(t).name);
+  }
+  EXPECT_EQ(enabled, (std::vector<std::string>{"i", "ii", "v"}));
+}
+
+TEST(PetriNetTest, PaperNeighborsMatchPaper) {
+  PetriNet net = MakePaperNet();
+  // Neighb(p1) = {p1, p2} (paper §4.1).
+  PeerIndex p1 = net.FindPeer("p1");
+  PeerIndex p2 = net.FindPeer("p2");
+  EXPECT_EQ(net.Neighbors(p1), (std::vector<PeerIndex>{p1, p2}));
+}
+
+TEST(PetriNetTest, FiringMovesTokens) {
+  PetriNet net = MakePaperNet();
+  Marking m = net.initial_marking();
+  // Fire i: marking of 1, 7 removed; 2, 3 marked (paper §2).
+  auto next = net.Fire(m, 0);
+  ASSERT_TRUE(next.ok());
+  auto marked = [&](const Marking& mm, const std::string& name) {
+    for (PlaceId p = 0; p < net.num_places(); ++p) {
+      if (net.place(p).name == name) return static_cast<bool>(mm[p]);
+    }
+    ADD_FAILURE() << "no place " << name;
+    return false;
+  };
+  EXPECT_FALSE(marked(*next, "1"));
+  EXPECT_FALSE(marked(*next, "7"));
+  EXPECT_TRUE(marked(*next, "2"));
+  EXPECT_TRUE(marked(*next, "3"));
+  EXPECT_TRUE(marked(*next, "4"));  // untouched
+}
+
+TEST(PetriNetTest, FiringDisabledTransitionFails) {
+  PetriNet net = MakePaperNet();
+  Marking m = net.initial_marking();
+  // iii needs place 2, unmarked initially.
+  auto result = net.Fire(m, 2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PetriNetTest, ConflictOverSharedPlace) {
+  PetriNet net = MakePaperNet();
+  Marking m = net.initial_marking();
+  // i and v compete for place 7: firing one disables the other.
+  auto after_i = net.Fire(m, 0);
+  ASSERT_TRUE(after_i.ok());
+  EXPECT_FALSE(net.IsEnabled(*after_i, 4));  // v
+  auto after_v = net.Fire(m, 4);
+  ASSERT_TRUE(after_v.ok());
+  EXPECT_FALSE(net.IsEnabled(*after_v, 0));  // i
+}
+
+TEST(PetriNetTest, SafetyCheckAcceptsPaperNet) {
+  EXPECT_TRUE(MakePaperNet().CheckSafety().ok());
+  EXPECT_TRUE(MakePaperNet(/*with_loop=*/true).CheckSafety().ok());
+  EXPECT_TRUE(MakeCycleNet().CheckSafety().ok());
+  EXPECT_TRUE(MakeHandshakeNet().CheckSafety().ok());
+}
+
+TEST(PetriNetTest, SafetyCheckRejectsUnsafeNet) {
+  PetriNetBuilder b;
+  b.AddPeer("p");
+  b.AddPlace("x", "p", true).AddPlace("y", "p", true).AddPlace("z", "p");
+  // Firing t1 marks z; firing t2 then marks z again: unsafe.
+  b.AddTransition("t1", "p", "a", {"x"}, {"z"});
+  b.AddTransition("t2", "p", "a", {"y"}, {"z"});
+  auto net = b.Build();
+  ASSERT_TRUE(net.ok());
+  Status s = net->CheckSafety();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PetriNetBuilderTest, ReportsUnknownNames) {
+  PetriNetBuilder b;
+  b.AddPeer("p").AddPlace("x", "p", true);
+  b.AddTransition("t", "p", "a", {"nope"}, {"x"});
+  EXPECT_FALSE(b.Build().ok());
+
+  PetriNetBuilder b2;
+  b2.AddPlace("x", "ghost", true);
+  EXPECT_FALSE(b2.Build().ok());
+}
+
+TEST(PetriNetBuilderTest, RejectsDuplicates) {
+  PetriNetBuilder b;
+  b.AddPeer("p").AddPeer("p");
+  EXPECT_FALSE(b.Build().ok());
+
+  PetriNetBuilder b3;
+  b3.AddPeer("p").AddPlace("x", "p", true).AddPlace("x", "p");
+  EXPECT_FALSE(b3.Build().ok());
+}
+
+TEST(PetriNetTest, ValidateRejectsEmptyPresets) {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("p");
+  PlaceId x = net.AddPlace("x", p);
+  net.AddTransition("t", p, "a", {}, {x}, true);
+  net.SetInitialMarking({x});
+  EXPECT_FALSE(net.Validate().ok());
+}
+
+TEST(PetriNetTest, ValidateRejectsEmptyMarking) {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("p");
+  net.AddPlace("x", p);
+  EXPECT_FALSE(net.Validate().ok());
+}
+
+TEST(PetriNetTest, TransitionsOfPeerAndProducersConsumers) {
+  PetriNet net = MakePaperNet();
+  PeerIndex p1 = net.FindPeer("p1");
+  auto p1_trans = net.TransitionsOfPeer(p1);
+  ASSERT_EQ(p1_trans.size(), 2u);  // i, iii
+  EXPECT_EQ(net.transition(p1_trans[0]).name, "i");
+  EXPECT_EQ(net.transition(p1_trans[1]).name, "iii");
+
+  // Place 1: produced by iii, consumed by i.
+  PlaceId place1 = 0;
+  ASSERT_EQ(net.Producers(place1).size(), 1u);
+  EXPECT_EQ(net.transition(net.Producers(place1)[0]).name, "iii");
+  ASSERT_EQ(net.Consumers(place1).size(), 1u);
+  EXPECT_EQ(net.transition(net.Consumers(place1)[0]).name, "i");
+}
+
+TEST(PetriNetTest, FindPeerUnknownReturnsInvalid) {
+  PetriNet net = MakePaperNet();
+  EXPECT_EQ(net.FindPeer("p3"), kInvalidId);
+}
+
+}  // namespace
+}  // namespace dqsq::petri

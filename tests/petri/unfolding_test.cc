@@ -1,0 +1,224 @@
+#include "petri/unfolding.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "petri/examples.h"
+#include "petri/random_net.h"
+
+namespace dqsq::petri {
+namespace {
+
+// Finds the unique event with the given transition name; fails if absent
+// or ambiguous.
+EventId EventByName(const Unfolding& u, const std::string& name) {
+  EventId found = kInvalidId;
+  for (EventId e = 0; e < u.num_events(); ++e) {
+    if (u.net().transition(u.event(e).transition).name == name) {
+      EXPECT_EQ(found, kInvalidId) << "ambiguous event " << name;
+      found = e;
+    }
+  }
+  EXPECT_NE(found, kInvalidId) << "no event " << name;
+  return found;
+}
+
+TEST(UnfoldingTest, PaperNetUnfoldsCompletely) {
+  // Without the loop the paper net's unfolding is finite: each transition
+  // occurs at most twice (iii can re-enable i? no: place 7 is never
+  // reproduced, so i fires once; iii once; ii, iv, v once each).
+  PetriNet net = MakePaperNet();
+  auto u = Unfolding::Build(net, UnfoldOptions{});
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_TRUE(u->complete());
+  // Events: i, ii, iii, iv, v — and nothing else (after iii marks 1, i
+  // would need 7 which is gone).
+  EXPECT_EQ(u->num_events(), 5u);
+  // Roots: the three marked places 1, 4, 7.
+  EXPECT_EQ(u->roots().size(), 3u);
+}
+
+TEST(UnfoldingTest, PaperNetCausalityAndConflict) {
+  PetriNet net = MakePaperNet();
+  auto u = Unfolding::Build(net, UnfoldOptions{});
+  ASSERT_TRUE(u.ok());
+  EventId ei = EventByName(*u, "i");
+  EventId eii = EventByName(*u, "ii");
+  EventId eiii = EventByName(*u, "iii");
+  EventId eiv = EventByName(*u, "iv");
+  EventId ev = EventByName(*u, "v");
+
+  // i < iii (iii consumes place 2 produced by i).
+  EXPECT_TRUE(u->CausallyPrecedes(ei, eiii));
+  EXPECT_FALSE(u->CausallyPrecedes(eiii, ei));
+  // ii < iv.
+  EXPECT_TRUE(u->CausallyPrecedes(eii, eiv));
+  // i # v (they compete for the root condition of place 7).
+  EXPECT_TRUE(u->InConflict(ei, ev));
+  EXPECT_TRUE(u->InConflict(ev, ei));
+  // Conflict is inherited: iii # v.
+  EXPECT_TRUE(u->InConflict(eiii, ev));
+  // i and ii are concurrent (no causality, no conflict).
+  EXPECT_FALSE(u->InConflict(ei, eii));
+  EXPECT_FALSE(u->CausallyPrecedes(ei, eii));
+  EXPECT_FALSE(u->CausallyPrecedes(eii, ei));
+  // An event is never in conflict with itself.
+  EXPECT_FALSE(u->InConflict(ei, ei));
+}
+
+TEST(UnfoldingTest, HomomorphismPreservesStructure) {
+  // Definition 3: the unfolding maps places/transitions type- and
+  // label-preservingly, and presets/postsets biject.
+  PetriNet net = MakePaperNet(true);
+  UnfoldOptions opts;
+  opts.max_events = 50;
+  auto u = Unfolding::Build(net, opts);
+  ASSERT_TRUE(u.ok());
+  for (EventId e = 0; e < u->num_events(); ++e) {
+    const Event& ev = u->event(e);
+    const Transition& tr = net.transition(ev.transition);
+    ASSERT_EQ(ev.preset.size(), tr.pre.size());
+    for (size_t i = 0; i < ev.preset.size(); ++i) {
+      EXPECT_EQ(u->condition(ev.preset[i]).place, tr.pre[i]);
+    }
+    if (!ev.cutoff) {
+      ASSERT_EQ(ev.postset.size(), tr.post.size());
+      for (size_t i = 0; i < ev.postset.size(); ++i) {
+        EXPECT_EQ(u->condition(ev.postset[i]).place, tr.post[i]);
+      }
+    }
+  }
+}
+
+TEST(UnfoldingTest, EachConditionHasOneProducer) {
+  PetriNet net = MakePaperNet(true);
+  UnfoldOptions opts;
+  opts.max_events = 80;
+  auto u = Unfolding::Build(net, opts);
+  ASSERT_TRUE(u.ok());
+  // Definition 4: each place node has at most one incoming edge — by
+  // construction every condition records exactly one producer (or none for
+  // roots). Verify no event lists the same condition twice in a postset
+  // and producers are consistent.
+  for (EventId e = 0; e < u->num_events(); ++e) {
+    std::set<CondId> post(u->event(e).postset.begin(),
+                          u->event(e).postset.end());
+    EXPECT_EQ(post.size(), u->event(e).postset.size());
+    for (CondId c : u->event(e).postset) {
+      EXPECT_EQ(u->condition(c).producer, e);
+    }
+  }
+}
+
+TEST(UnfoldingTest, NoDuplicateEvents) {
+  // Definition 4: distinct events differ in preset or in ρ-image.
+  PetriNet net = MakePaperNet(true);
+  UnfoldOptions opts;
+  opts.max_events = 80;
+  auto u = Unfolding::Build(net, opts);
+  ASSERT_TRUE(u.ok());
+  std::set<std::pair<TransitionId, std::vector<CondId>>> seen;
+  for (EventId e = 0; e < u->num_events(); ++e) {
+    std::vector<CondId> preset = u->event(e).preset;
+    std::sort(preset.begin(), preset.end());
+    EXPECT_TRUE(seen.insert({u->event(e).transition, preset}).second);
+  }
+}
+
+TEST(UnfoldingTest, CycleNetInfiniteUnfoldingRespectsDepthBudget) {
+  PetriNet net = MakeCycleNet();
+  UnfoldOptions opts;
+  opts.max_depth = 6;
+  auto u = Unfolding::Build(net, opts);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(u->complete());  // depth-bounded prefix reaches its fixpoint
+  // The cycle a,b,c repeats: depth 6 = exactly 6 events in a chain.
+  EXPECT_EQ(u->num_events(), 6u);
+  for (EventId e = 0; e < u->num_events(); ++e) {
+    EXPECT_LE(u->event(e).depth, 6u);
+  }
+}
+
+TEST(UnfoldingTest, EventBudgetMarksIncomplete) {
+  PetriNet net = MakeCycleNet();
+  UnfoldOptions opts;
+  opts.max_events = 4;
+  auto u = Unfolding::Build(net, opts);
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE(u->complete());
+  EXPECT_EQ(u->num_events(), 4u);
+}
+
+TEST(UnfoldingTest, CutoffsGiveFiniteCompletePrefix) {
+  PetriNet net = MakeCycleNet();
+  UnfoldOptions opts;
+  opts.max_events = 0;  // unlimited; cut-offs must terminate on their own
+  opts.use_cutoffs = true;
+  auto u = Unfolding::Build(net, opts);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(u->complete());
+  // 3 reachable markings: the prefix stops after revisiting the initial
+  // one. Events: a, b, c (c is the cutoff).
+  EXPECT_LE(u->num_events(), 4u);
+  bool has_cutoff = false;
+  for (EventId e = 0; e < u->num_events(); ++e) {
+    has_cutoff |= u->event(e).cutoff;
+  }
+  EXPECT_TRUE(has_cutoff);
+}
+
+TEST(UnfoldingTest, HandshakeConcurrency) {
+  PetriNet net = MakeHandshakeNet();
+  UnfoldOptions opts;
+  opts.max_depth = 2;  // exactly one instance of each transition
+  auto u = Unfolding::Build(net, opts);
+  ASSERT_TRUE(u.ok());
+  EventId el = EventByName(*u, "lwork");
+  EventId er = EventByName(*u, "rwork");
+  EXPECT_FALSE(u->InConflict(el, er));
+  EXPECT_FALSE(u->CausallyPrecedes(el, er));
+  EXPECT_FALSE(u->CausallyPrecedes(er, el));
+  // sync depends on both.
+  EventId es = EventByName(*u, "sync");
+  EXPECT_TRUE(u->CausallyPrecedes(el, es));
+  EXPECT_TRUE(u->CausallyPrecedes(er, es));
+}
+
+TEST(UnfoldingTest, RandomNetsUnfoldWithoutViolations) {
+  // Property sweep: random safe nets unfold; homomorphism and co-relation
+  // invariants hold on every prefix.
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    RandomNetOptions ropts;
+    ropts.num_peers = 3;
+    ropts.places_per_peer = 3;
+    ropts.transitions_per_peer = 4;
+    ropts.sync_probability = 0.4;
+    PetriNet net = MakeRandomNet(ropts, rng);
+    ASSERT_TRUE(net.CheckSafety(20000).ok()) << "seed " << seed;
+    UnfoldOptions opts;
+    opts.max_events = 200;
+    auto u = Unfolding::Build(net, opts);
+    ASSERT_TRUE(u.ok()) << "seed " << seed;
+    // Concurrent conditions are never related by causality through their
+    // producers.
+    for (CondId a = 0; a < u->num_conditions() && a < 60; ++a) {
+      for (CondId b = a + 1; b < u->num_conditions() && b < 60; ++b) {
+        if (!u->Concurrent(a, b)) continue;
+        EventId pa = u->condition(a).producer;
+        EventId pb = u->condition(b).producer;
+        if (pa != kInvalidId && pb != kInvalidId && pa != pb) {
+          EXPECT_FALSE(u->CausallyPrecedes(pa, pb) &&
+                       u->Ancestors(pb).Test(pa) &&
+                       u->InConflict(pa, pb))
+              << "seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqsq::petri

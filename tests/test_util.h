@@ -1,0 +1,58 @@
+// Shared helpers for the dqsq test suites.
+#ifndef DQSQ_TESTS_TEST_UTIL_H_
+#define DQSQ_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datalog/database.h"
+#include "datalog/engine.h"
+#include "datalog/parser.h"
+
+namespace dqsq::testing {
+
+/// Renders answer tuples as sorted "a,b" strings for easy comparison.
+inline std::vector<std::string> AnswerStrings(const std::vector<Tuple>& answers,
+                                              const DatalogContext& ctx) {
+  std::vector<std::string> out;
+  for (const Tuple& t : answers) {
+    std::string s;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) s += ",";
+      s += ctx.arena().ToString(t[i], ctx.symbols());
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Parses `program_text` and `query_text`, runs the query with `strategy`
+/// on a fresh database, and returns the result. Aborts on any error (test
+/// convenience). Facts are taken from the program text itself.
+inline QueryResult RunQuery(DatalogContext& ctx, const std::string& program_text,
+                            const std::string& query_text, Strategy strategy,
+                            const EvalOptions& options = {}) {
+  auto program = ParseProgram(program_text, ctx);
+  DQSQ_CHECK_OK(program.status());
+  auto query = ParseQuery(query_text, ctx);
+  DQSQ_CHECK_OK(query.status());
+  Database db(&ctx);
+  auto result = SolveQuery(*program, db, *query, strategy, options);
+  DQSQ_CHECK_OK(result.status());
+  return *std::move(result);
+}
+
+/// Answers only, as sorted strings.
+inline std::vector<std::string> RunQueryStrings(
+    DatalogContext& ctx, const std::string& program_text,
+    const std::string& query_text, Strategy strategy,
+    const EvalOptions& options = {}) {
+  QueryResult r = RunQuery(ctx, program_text, query_text, strategy, options);
+  return AnswerStrings(r.answers, ctx);
+}
+
+}  // namespace dqsq::testing
+
+#endif  // DQSQ_TESTS_TEST_UTIL_H_
