@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qsq.dir/bench_qsq.cc.o"
+  "CMakeFiles/bench_qsq.dir/bench_qsq.cc.o.d"
+  "bench_qsq"
+  "bench_qsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

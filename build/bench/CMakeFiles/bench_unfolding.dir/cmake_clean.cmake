@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unfolding.dir/bench_unfolding.cc.o"
+  "CMakeFiles/bench_unfolding.dir/bench_unfolding.cc.o.d"
+  "bench_unfolding"
+  "bench_unfolding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unfolding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_patterns.dir/alarm_patterns.cpp.o"
+  "CMakeFiles/alarm_patterns.dir/alarm_patterns.cpp.o.d"
+  "alarm_patterns"
+  "alarm_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

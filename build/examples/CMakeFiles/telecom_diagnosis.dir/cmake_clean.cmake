@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telecom_diagnosis.dir/telecom_diagnosis.cpp.o"
+  "CMakeFiles/telecom_diagnosis.dir/telecom_diagnosis.cpp.o.d"
+  "telecom_diagnosis"
+  "telecom_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telecom_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqsq_common.dir/common/rng.cc.o"
+  "CMakeFiles/dqsq_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/dqsq_common.dir/common/status.cc.o"
+  "CMakeFiles/dqsq_common.dir/common/status.cc.o.d"
+  "CMakeFiles/dqsq_common.dir/common/symbol_table.cc.o"
+  "CMakeFiles/dqsq_common.dir/common/symbol_table.cc.o.d"
+  "libdqsq_common.a"
+  "libdqsq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqsq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/adornment.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/adornment.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/adornment.cc.o.d"
+  "/root/repo/src/datalog/ast.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/ast.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/ast.cc.o.d"
+  "/root/repo/src/datalog/database.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/database.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/database.cc.o.d"
+  "/root/repo/src/datalog/engine.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/engine.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/engine.cc.o.d"
+  "/root/repo/src/datalog/eval.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/eval.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/eval.cc.o.d"
+  "/root/repo/src/datalog/magic_rewrite.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/magic_rewrite.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/magic_rewrite.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/pattern.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/pattern.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/pattern.cc.o.d"
+  "/root/repo/src/datalog/qsq_rewrite.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/qsq_rewrite.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/qsq_rewrite.cc.o.d"
+  "/root/repo/src/datalog/qsqr.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/qsqr.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/qsqr.cc.o.d"
+  "/root/repo/src/datalog/relation.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/relation.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/relation.cc.o.d"
+  "/root/repo/src/datalog/term.cc" "src/CMakeFiles/dqsq_datalog.dir/datalog/term.cc.o" "gcc" "src/CMakeFiles/dqsq_datalog.dir/datalog/term.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dqsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqsq_datalog.dir/datalog/adornment.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/adornment.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/ast.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/ast.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/database.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/database.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/engine.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/engine.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/eval.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/eval.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/magic_rewrite.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/magic_rewrite.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/parser.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/parser.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/pattern.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/pattern.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/qsq_rewrite.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/qsq_rewrite.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/qsqr.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/qsqr.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/relation.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/relation.cc.o.d"
+  "CMakeFiles/dqsq_datalog.dir/datalog/term.cc.o"
+  "CMakeFiles/dqsq_datalog.dir/datalog/term.cc.o.d"
+  "libdqsq_datalog.a"
+  "libdqsq_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqsq_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

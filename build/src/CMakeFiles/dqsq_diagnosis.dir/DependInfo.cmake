@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diagnosis/diagnoser.cc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/diagnoser.cc.o" "gcc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/diagnoser.cc.o.d"
+  "/root/repo/src/diagnosis/encoder.cc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/encoder.cc.o" "gcc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/encoder.cc.o.d"
+  "/root/repo/src/diagnosis/explanation.cc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/explanation.cc.o" "gcc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/explanation.cc.o.d"
+  "/root/repo/src/diagnosis/extensions.cc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/extensions.cc.o" "gcc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/extensions.cc.o.d"
+  "/root/repo/src/diagnosis/online.cc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/online.cc.o" "gcc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/online.cc.o.d"
+  "/root/repo/src/diagnosis/supervisor.cc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/supervisor.cc.o" "gcc" "src/CMakeFiles/dqsq_diagnosis.dir/diagnosis/supervisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dqsq_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dqsq_petri.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dqsq_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dqsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

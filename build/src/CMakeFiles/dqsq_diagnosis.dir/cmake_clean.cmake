@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/diagnoser.cc.o"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/diagnoser.cc.o.d"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/encoder.cc.o"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/encoder.cc.o.d"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/explanation.cc.o"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/explanation.cc.o.d"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/extensions.cc.o"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/extensions.cc.o.d"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/online.cc.o"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/online.cc.o.d"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/supervisor.cc.o"
+  "CMakeFiles/dqsq_diagnosis.dir/diagnosis/supervisor.cc.o.d"
+  "libdqsq_diagnosis.a"
+  "libdqsq_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqsq_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

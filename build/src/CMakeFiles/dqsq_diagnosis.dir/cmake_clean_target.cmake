@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdqsq_diagnosis.a"
+)

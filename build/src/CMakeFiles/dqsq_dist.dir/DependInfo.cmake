@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/cluster.cc" "src/CMakeFiles/dqsq_dist.dir/dist/cluster.cc.o" "gcc" "src/CMakeFiles/dqsq_dist.dir/dist/cluster.cc.o.d"
+  "/root/repo/src/dist/dnaive.cc" "src/CMakeFiles/dqsq_dist.dir/dist/dnaive.cc.o" "gcc" "src/CMakeFiles/dqsq_dist.dir/dist/dnaive.cc.o.d"
+  "/root/repo/src/dist/dqsq.cc" "src/CMakeFiles/dqsq_dist.dir/dist/dqsq.cc.o" "gcc" "src/CMakeFiles/dqsq_dist.dir/dist/dqsq.cc.o.d"
+  "/root/repo/src/dist/global.cc" "src/CMakeFiles/dqsq_dist.dir/dist/global.cc.o" "gcc" "src/CMakeFiles/dqsq_dist.dir/dist/global.cc.o.d"
+  "/root/repo/src/dist/network.cc" "src/CMakeFiles/dqsq_dist.dir/dist/network.cc.o" "gcc" "src/CMakeFiles/dqsq_dist.dir/dist/network.cc.o.d"
+  "/root/repo/src/dist/peer.cc" "src/CMakeFiles/dqsq_dist.dir/dist/peer.cc.o" "gcc" "src/CMakeFiles/dqsq_dist.dir/dist/peer.cc.o.d"
+  "/root/repo/src/dist/termination.cc" "src/CMakeFiles/dqsq_dist.dir/dist/termination.cc.o" "gcc" "src/CMakeFiles/dqsq_dist.dir/dist/termination.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dqsq_datalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dqsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqsq_dist.dir/dist/cluster.cc.o"
+  "CMakeFiles/dqsq_dist.dir/dist/cluster.cc.o.d"
+  "CMakeFiles/dqsq_dist.dir/dist/dnaive.cc.o"
+  "CMakeFiles/dqsq_dist.dir/dist/dnaive.cc.o.d"
+  "CMakeFiles/dqsq_dist.dir/dist/dqsq.cc.o"
+  "CMakeFiles/dqsq_dist.dir/dist/dqsq.cc.o.d"
+  "CMakeFiles/dqsq_dist.dir/dist/global.cc.o"
+  "CMakeFiles/dqsq_dist.dir/dist/global.cc.o.d"
+  "CMakeFiles/dqsq_dist.dir/dist/network.cc.o"
+  "CMakeFiles/dqsq_dist.dir/dist/network.cc.o.d"
+  "CMakeFiles/dqsq_dist.dir/dist/peer.cc.o"
+  "CMakeFiles/dqsq_dist.dir/dist/peer.cc.o.d"
+  "CMakeFiles/dqsq_dist.dir/dist/termination.cc.o"
+  "CMakeFiles/dqsq_dist.dir/dist/termination.cc.o.d"
+  "libdqsq_dist.a"
+  "libdqsq_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqsq_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petri/alarm.cc" "src/CMakeFiles/dqsq_petri.dir/petri/alarm.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/alarm.cc.o.d"
+  "/root/repo/src/petri/analysis.cc" "src/CMakeFiles/dqsq_petri.dir/petri/analysis.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/analysis.cc.o.d"
+  "/root/repo/src/petri/bfhj.cc" "src/CMakeFiles/dqsq_petri.dir/petri/bfhj.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/bfhj.cc.o.d"
+  "/root/repo/src/petri/builder.cc" "src/CMakeFiles/dqsq_petri.dir/petri/builder.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/builder.cc.o.d"
+  "/root/repo/src/petri/configuration.cc" "src/CMakeFiles/dqsq_petri.dir/petri/configuration.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/configuration.cc.o.d"
+  "/root/repo/src/petri/dot.cc" "src/CMakeFiles/dqsq_petri.dir/petri/dot.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/dot.cc.o.d"
+  "/root/repo/src/petri/examples.cc" "src/CMakeFiles/dqsq_petri.dir/petri/examples.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/examples.cc.o.d"
+  "/root/repo/src/petri/net.cc" "src/CMakeFiles/dqsq_petri.dir/petri/net.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/net.cc.o.d"
+  "/root/repo/src/petri/product.cc" "src/CMakeFiles/dqsq_petri.dir/petri/product.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/product.cc.o.d"
+  "/root/repo/src/petri/random_net.cc" "src/CMakeFiles/dqsq_petri.dir/petri/random_net.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/random_net.cc.o.d"
+  "/root/repo/src/petri/reference_diagnoser.cc" "src/CMakeFiles/dqsq_petri.dir/petri/reference_diagnoser.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/reference_diagnoser.cc.o.d"
+  "/root/repo/src/petri/unfolding.cc" "src/CMakeFiles/dqsq_petri.dir/petri/unfolding.cc.o" "gcc" "src/CMakeFiles/dqsq_petri.dir/petri/unfolding.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dqsq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

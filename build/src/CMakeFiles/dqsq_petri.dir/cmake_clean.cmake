@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqsq_petri.dir/petri/alarm.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/alarm.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/analysis.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/analysis.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/bfhj.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/bfhj.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/builder.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/builder.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/configuration.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/configuration.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/dot.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/dot.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/examples.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/examples.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/net.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/net.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/product.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/product.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/random_net.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/random_net.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/reference_diagnoser.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/reference_diagnoser.cc.o.d"
+  "CMakeFiles/dqsq_petri.dir/petri/unfolding.cc.o"
+  "CMakeFiles/dqsq_petri.dir/petri/unfolding.cc.o.d"
+  "libdqsq_petri.a"
+  "libdqsq_petri.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqsq_petri.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

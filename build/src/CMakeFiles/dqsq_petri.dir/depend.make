@@ -1,0 +1,2 @@
+# Empty dependencies file for dqsq_petri.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_test.dir/petri/alarm_test.cc.o"
+  "CMakeFiles/alarm_test.dir/petri/alarm_test.cc.o.d"
+  "alarm_test"
+  "alarm_test.pdb"
+  "alarm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

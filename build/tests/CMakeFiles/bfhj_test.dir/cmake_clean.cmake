@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhj_test.dir/petri/bfhj_test.cc.o"
+  "CMakeFiles/bfhj_test.dir/petri/bfhj_test.cc.o.d"
+  "bfhj_test"
+  "bfhj_test.pdb"
+  "bfhj_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhj_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnoser_test.dir/diagnosis/diagnoser_test.cc.o"
+  "CMakeFiles/diagnoser_test.dir/diagnosis/diagnoser_test.cc.o.d"
+  "diagnoser_test"
+  "diagnoser_test.pdb"
+  "diagnoser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnoser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_eval_test.dir/dist/dist_eval_test.cc.o"
+  "CMakeFiles/dist_eval_test.dir/dist/dist_eval_test.cc.o.d"
+  "dist_eval_test"
+  "dist_eval_test.pdb"
+  "dist_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsq_test.dir/datalog/qsq_test.cc.o"
+  "CMakeFiles/qsq_test.dir/datalog/qsq_test.cc.o.d"
+  "qsq_test"
+  "qsq_test.pdb"
+  "qsq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

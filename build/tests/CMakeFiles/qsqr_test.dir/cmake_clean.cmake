@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsqr_test.dir/datalog/qsqr_test.cc.o"
+  "CMakeFiles/qsqr_test.dir/datalog/qsqr_test.cc.o.d"
+  "qsqr_test"
+  "qsqr_test.pdb"
+  "qsqr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsqr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reference_diagnoser_test.dir/petri/reference_diagnoser_test.cc.o"
+  "CMakeFiles/reference_diagnoser_test.dir/petri/reference_diagnoser_test.cc.o.d"
+  "reference_diagnoser_test"
+  "reference_diagnoser_test.pdb"
+  "reference_diagnoser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reference_diagnoser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

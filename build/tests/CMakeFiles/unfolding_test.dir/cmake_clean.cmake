@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unfolding_test.dir/petri/unfolding_test.cc.o"
+  "CMakeFiles/unfolding_test.dir/petri/unfolding_test.cc.o.d"
+  "unfolding_test"
+  "unfolding_test.pdb"
+  "unfolding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unfolding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
