@@ -6,6 +6,7 @@
 //      tuples under dQSQ vs a naive placement baseline (distributed naive).
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "datalog/engine.h"
 #include "dist/dnaive.h"
@@ -75,6 +76,8 @@ void PlacementRow(int peers, int per_peer) {
 }  // namespace
 
 int main() {
+  bench::BenchReporter reporter("E7_ablation");
+  reporter.Param("ablations", "sup_projection,placement");
   std::printf(
       "E7a: supplementary-relation schema ablation (aux facts = sup/in "
       "bookkeeping;\n     qsq projects to the variables needed later, "

@@ -3,6 +3,7 @@
 // over random telecom-style nets with observations from real runs.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "diagnosis/diagnoser.h"
 
@@ -49,4 +50,15 @@ BENCHMARK(BM_Diagnose)->Apply(Args)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the run also emits
+// BENCH_E4_diagnosis_scaling.json.
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("E4_diagnosis_scaling");
+  reporter.Param("workload", "random_telecom_nets");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  reporter.Write();
+  return 0;
+}

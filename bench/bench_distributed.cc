@@ -3,6 +3,7 @@
 // naive evaluation vs dQSQ on a chain partitioned over k peers.
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "dist/dnaive.h"
 #include "dist/dqsq.h"
@@ -43,6 +44,9 @@ void Row(int peers, int per_peer) {
 }  // namespace
 
 int main() {
+  bench::BenchReporter reporter("E3_distributed");
+  reporter.Param("workload", "distributed_chain");
+  reporter.Param("query", "path@peer0(v0, Y)");
   std::printf(
       "E3: distributed chain, query path@peer0(v0, Y) spanning all peers\n"
       "%5s %8s | %28s | %28s |\n"

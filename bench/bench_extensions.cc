@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "diagnosis/diagnoser.h"
 #include "diagnosis/extensions.h"
@@ -57,6 +58,8 @@ void HiddenRow(double hidden_ratio, uint32_t budget) {
 }  // namespace
 
 int main() {
+  bench::BenchReporter reporter("E6_extensions");
+  reporter.Param("engine", "central_qsq");
   std::printf("E6a: alarm-pattern diagnosis (central QSQ)\n");
   petri::PetriNet cycle = petri::MakeCycleNet();
   for (uint32_t count = 2; count <= 6; ++count) {

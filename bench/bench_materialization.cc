@@ -6,6 +6,7 @@
 // both far below bottom-up.
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "diagnosis/diagnoser.h"
 #include "petri/examples.h"
@@ -59,6 +60,9 @@ void Row(const char* net_name, const petri::PetriNet& net,
 }  // namespace
 
 int main() {
+  bench::BenchReporter reporter("E1_materialization");
+  reporter.Param("nets", "paper,rand1..3");
+  reporter.Param("engines", "central_seminaive,central_magic,central_qsq,bfhj");
   std::printf(
       "E1: unfolding nodes materialized per engine (events, conditions)\n"
       "%-10s %2s | %15s | %15s | %15s | %15s | Thm4(QSQ==BFHJ)\n",

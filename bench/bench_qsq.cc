@@ -4,6 +4,7 @@
 // suffix. google-benchmark; counters report derived facts.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_report.h"
 #include "bench/bench_util.h"
 #include "datalog/engine.h"
 #include "tests/test_util.h"
@@ -94,4 +95,14 @@ BENCHMARK(BM_SameGeneration)->Apply(SgArgs)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the run also emits BENCH_E2_qsq.json.
+int main(int argc, char** argv) {
+  bench::BenchReporter reporter("E2_qsq");
+  reporter.Param("workloads", "chain_query,same_generation");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  reporter.Write();
+  return 0;
+}

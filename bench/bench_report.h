@@ -1,0 +1,54 @@
+// Shared result reporter for the experiment binaries (E1..E7): every bench
+// constructs one BenchReporter up front and gets a BENCH_<experiment>.json
+// file on exit, containing the run parameters, the wall time, a fixed
+// summary block (facts derived, unfolding events/conditions, message and
+// tuple counts, per-peer message counts) and the full metrics-snapshot diff
+// accumulated while the reporter was alive. The schema is documented in
+// docs/METRICS.md; EXPERIMENTS.md names the counters each experiment reads.
+#ifndef DQSQ_BENCH_BENCH_REPORT_H_
+#define DQSQ_BENCH_BENCH_REPORT_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace dqsq::bench {
+
+class BenchReporter {
+ public:
+  /// Snapshots the metrics registry and starts the wall clock.
+  /// `experiment` names the output file: BENCH_<experiment>.json, written
+  /// to $DQSQ_BENCH_OUT_DIR (cwd when unset).
+  explicit BenchReporter(std::string experiment);
+
+  /// Writes the report if Write() was not called explicitly.
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// Records a run parameter echoed into the report's "params" object.
+  void Param(const std::string& key, const std::string& value);
+  void Param(const std::string& key, int64_t value);
+  void Param(const std::string& key, double value);
+
+  /// Stops the clock, diffs the registry against the start snapshot and
+  /// writes BENCH_<experiment>.json. Idempotent; returns the path written.
+  std::string Write();
+
+ private:
+  std::string experiment_;
+  // Params with values pre-rendered as JSON tokens, in insertion order.
+  std::vector<std::pair<std::string, std::string>> params_;
+  MetricsSnapshot start_;
+  std::chrono::steady_clock::time_point start_time_;
+  bool written_ = false;
+  std::string path_;
+};
+
+}  // namespace dqsq::bench
+
+#endif  // DQSQ_BENCH_BENCH_REPORT_H_

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "datalog/adornment.h"
 #include "datalog/magic_rewrite.h"
 #include "datalog/qsqr.h"
@@ -63,16 +64,39 @@ size_t CountRels(const Database& db, const std::vector<RelId>& rels) {
 
 }  // namespace
 
+namespace {
+
+// Registry accounting shared by every strategy branch of SolveQuery.
+void RecordQueryMetrics(Strategy strategy, const QueryResult& result) {
+  auto& registry = MetricsRegistry::Global();
+  Labels labels{{"strategy", StrategyName(strategy)}};
+  registry.GetCounter("datalog.solve.queries", labels).Increment();
+  registry.GetCounter("datalog.solve.answers", labels, "rows")
+      .Increment(result.answers.size());
+  registry.GetCounter("datalog.solve.derived_facts", labels, "facts")
+      .Increment(result.derived_facts);
+  registry.GetCounter("datalog.solve.answer_facts", labels, "facts")
+      .Increment(result.answer_facts);
+  registry.GetCounter("datalog.solve.aux_facts", labels, "facts")
+      .Increment(result.aux_facts);
+}
+
+}  // namespace
+
 StatusOr<QueryResult> SolveQuery(const Program& program, Database& db,
                                  const ParsedQuery& query, Strategy strategy,
                                  const EvalOptions& options) {
   DQSQ_RETURN_IF_ERROR(ValidateProgram(program, db.ctx()));
+  ScopedTimer timer(
+      TimeMetric("datalog.solve.wall_ns",
+                 Labels{{"strategy", StrategyName(strategy)}}));
   QueryResult result;
   const size_t facts_before = db.TotalFacts();
 
   if (!IsIdbRel(program, query.atom.rel)) {
     // Purely extensional query: nothing to derive.
     result.answers = Ask(db, query.atom, query.num_vars);
+    RecordQueryMetrics(strategy, result);
     return result;
   }
 
@@ -84,6 +108,7 @@ StatusOr<QueryResult> SolveQuery(const Program& program, Database& db,
       result.derived_facts = db.TotalFacts() - facts_before;
       result.answer_facts = qsqr.answer_facts;
       result.aux_facts = qsqr.input_facts;
+      RecordQueryMetrics(strategy, result);
       return result;
     }
     case Strategy::kNaive:
@@ -95,6 +120,7 @@ StatusOr<QueryResult> SolveQuery(const Program& program, Database& db,
       result.derived_facts = db.TotalFacts() - facts_before;
       result.answer_facts = CountRels(db, IdbRelations(program));
       result.aux_facts = 0;
+      RecordQueryMetrics(strategy, result);
       return result;
     }
     case Strategy::kMagic:
@@ -152,6 +178,7 @@ StatusOr<QueryResult> SolveQuery(const Program& program, Database& db,
       }
       result.answer_facts = CountRels(db, answer_rels);
       result.aux_facts = result.derived_facts - result.answer_facts;
+      RecordQueryMetrics(strategy, result);
       return result;
     }
   }

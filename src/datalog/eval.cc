@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace dqsq {
 
@@ -18,6 +19,14 @@ class Evaluator {
       : program_(program), db_(db), options_(options) {}
 
   StatusOr<EvalStats> Run() {
+    Status status = RunImpl();
+    FlushMetrics();
+    if (!status.ok()) return status;
+    return stats_;
+  }
+
+ private:
+  Status RunImpl() {
     // Stratified evaluation: rules of stratum 0, 1, ... to their own
     // fixpoints in order, so every negated relation is complete before it
     // is read. Positive programs form a single stratum.
@@ -33,16 +42,38 @@ class Evaluator {
       if (layer.rules.empty()) continue;
       DQSQ_RETURN_IF_ERROR(RunLayer(layer));
     }
-    return stats_;
+    return Status::Ok();
   }
 
- private:
+  // One registry update per evaluation (also on error paths): the hot
+  // loops accumulate into plain size_t fields and the totals land here.
+  void FlushMetrics() {
+    auto& registry = MetricsRegistry::Global();
+    Labels mode{{"mode", options_.seminaive ? "seminaive" : "naive"}};
+    registry.GetCounter("datalog.eval.runs", mode).Increment();
+    registry.GetCounter("datalog.eval.rounds", mode).Increment(stats_.rounds);
+    registry.GetCounter("datalog.eval.facts_derived", mode, "facts")
+        .Increment(stats_.facts_derived);
+    registry.GetCounter("datalog.eval.rule_firings", mode)
+        .Increment(stats_.rule_firings);
+    registry.GetCounter("datalog.eval.join_probes", mode, "rows")
+        .Increment(stats_.join_probes);
+    registry.GetCounter("datalog.eval.depth_pruned", mode, "facts")
+        .Increment(stats_.depth_pruned);
+    registry.GetCounter("datalog.eval.delta_rows", mode, "rows")
+        .Increment(delta_rows_);
+    registry.GetGauge("datalog.eval.budget_facts_used", mode, "facts")
+        .Set(static_cast<int64_t>(db_.TotalFacts()));
+  }
+
   Status RunLayer(const Program& layer) {
     // Snapshot maps: base = size at start of previous round (old rows),
     // cur = size at start of this round. Delta = [base, cur).
     snapshots_.clear();
     for (size_t round = 0;; ++round) {
       if (round >= options_.max_rounds) {
+        CountMetric("datalog.eval.budget_exhausted", 1,
+                    {{"budget", "rounds"}});
         return ResourceExhaustedError("evaluation exceeded max_rounds");
       }
       ++stats_.rounds;
@@ -67,12 +98,15 @@ class Evaluator {
       snap.base = snap.cur;
       const Relation* r = db_.Find(rel);
       snap.cur = r == nullptr ? 0 : r->size();
+      delta_rows_ += snap.cur - snap.base;
     }
     // Relations that appeared for the first time.
     for (const RelId& rel : db_.Relations()) {
       if (!snapshots_.contains(rel)) {
         const Relation* r = db_.Find(rel);
-        snapshots_[rel] = Snapshot{0, r == nullptr ? 0 : r->size()};
+        size_t size = r == nullptr ? 0 : r->size();
+        snapshots_[rel] = Snapshot{0, size};
+        delta_rows_ += size;
       }
     }
   }
@@ -224,6 +258,8 @@ class Evaluator {
       if (options_.max_term_depth > 0 &&
           db_.ctx().arena().Depth(t) > options_.max_term_depth) {
         if (options_.depth_policy == EvalOptions::DepthPolicy::kError) {
+          CountMetric("datalog.eval.budget_exhausted", 1,
+                      {{"budget", "depth"}});
           return ResourceExhaustedError("term depth budget exceeded");
         }
         ++stats_.depth_pruned;
@@ -234,6 +270,8 @@ class Evaluator {
     if (db_.Insert(rule.head.rel, tuple)) {
       ++stats_.facts_derived;
       if (db_.TotalFacts() > options_.max_facts) {
+        CountMetric("datalog.eval.budget_exhausted", 1,
+                    {{"budget", "facts"}});
         return ResourceExhaustedError("evaluation exceeded max_facts");
       }
     }
@@ -244,6 +282,7 @@ class Evaluator {
   Database& db_;
   const EvalOptions& options_;
   EvalStats stats_;
+  size_t delta_rows_ = 0;  // rows that entered some round's delta
   std::unordered_map<RelId, Snapshot, RelIdHash> snapshots_;
 };
 

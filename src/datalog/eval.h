@@ -31,6 +31,9 @@ struct EvalOptions {
   bool seminaive = true;
 };
 
+/// Per-call evaluation counters. Every field is also accumulated into the
+/// process-wide MetricsRegistry under `datalog.eval.*` (docs/METRICS.md);
+/// this struct remains the per-invocation view.
 struct EvalStats {
   size_t rounds = 0;
   size_t facts_derived = 0;  // new facts inserted by this evaluation

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace dqsq {
 
@@ -71,10 +72,12 @@ StatusOr<RewriteResult> QsqRewrite(const AdornedProgram& adorned,
   result.answer_rel = answer_rel(query_rel, query_adornment);
   result.input_rel = input_rel(query_rel, query_adornment);
 
+  size_t sup_relations = 0;
   for (const AdornedRule& ar : adorned.rules) {
     const Rule& rule = *ar.rule;
     const size_t n = rule.body.size();
     const SymbolId head_peer = rule.head.rel.peer;
+    sup_relations += n + 1;
 
     // bound_after[j]: variables bound before consuming body atom j
     // (j = n means after the whole body).
@@ -215,6 +218,12 @@ StatusOr<RewriteResult> QsqRewrite(const AdornedProgram& adorned,
   }
 
   DQSQ_RETURN_IF_ERROR(ValidateProgram(result.program, ctx));
+
+  Labels variant{{"variant", options.project_relevant_vars ? "qsq" : "qsq_allvars"}};
+  CountMetric("datalog.qsq.rewrites", 1, variant);
+  CountMetric("datalog.qsq.sup_relations", sup_relations, variant, "relations");
+  CountMetric("datalog.qsq.rules_emitted", result.program.rules.size(), variant,
+              "rules");
   return result;
 }
 

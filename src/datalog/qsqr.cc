@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "datalog/adornment.h"
 #include "datalog/qsq_rewrite.h"
 
@@ -68,6 +69,12 @@ class QsqrEngine {
       if (ans != nullptr) result.answer_facts += ans->size();
       if (in != nullptr) result.input_facts += in->size();
     }
+
+    CountMetric("datalog.qsqr.runs");
+    CountMetric("datalog.qsqr.passes", result.passes, {}, "passes");
+    CountMetric("datalog.qsqr.call_patterns", patterns_.size(), {}, "patterns");
+    CountMetric("datalog.qsqr.input_facts", result.input_facts, {}, "facts");
+    CountMetric("datalog.qsqr.answer_facts", result.answer_facts, {}, "facts");
     return result;
   }
 

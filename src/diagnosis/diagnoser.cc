@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "datalog/engine.h"
 #include "diagnosis/encoder.h"
 #include "dist/dqsq.h"
@@ -185,11 +186,23 @@ StatusOr<DiagnosisResult> RunDatalog(
   return result;
 }
 
-}  // namespace
+// Per-engine result accounting (diagnosis.* in docs/METRICS.md).
+void RecordDiagnosisMetrics(DiagnosisEngine engine,
+                            const DiagnosisResult& result) {
+  auto& registry = MetricsRegistry::Global();
+  Labels labels{{"engine", EngineName(engine)}};
+  registry.GetCounter("diagnosis.runs", labels).Increment();
+  registry.GetCounter("diagnosis.explanations", labels, "configs")
+      .Increment(result.explanations.size());
+  registry.GetCounter("diagnosis.trans_facts", labels, "facts")
+      .Increment(result.trans_facts);
+  registry.GetCounter("diagnosis.places_facts", labels, "facts")
+      .Increment(result.places_facts);
+}
 
-StatusOr<DiagnosisResult> Diagnose(const petri::PetriNet& net,
-                                   const petri::AlarmSequence& alarms,
-                                   const DiagnosisOptions& options) {
+StatusOr<DiagnosisResult> DiagnoseImpl(const petri::PetriNet& net,
+                                       const petri::AlarmSequence& alarms,
+                                       const DiagnosisOptions& options) {
   switch (options.engine) {
     case DiagnosisEngine::kReference: {
       petri::UnfoldOptions uopts;
@@ -256,6 +269,19 @@ StatusOr<DiagnosisResult> Diagnose(const petri::PetriNet& net,
   }
 }
 
+}  // namespace
+
+StatusOr<DiagnosisResult> Diagnose(const petri::PetriNet& net,
+                                   const petri::AlarmSequence& alarms,
+                                   const DiagnosisOptions& options) {
+  ScopedTimer timer(TimeMetric(
+      "diagnosis.wall_ns", Labels{{"engine", EngineName(options.engine)}}));
+  DQSQ_ASSIGN_OR_RETURN(DiagnosisResult result,
+                        DiagnoseImpl(net, alarms, options));
+  RecordDiagnosisMetrics(options.engine, result);
+  return result;
+}
+
 StatusOr<DiagnosisResult> DiagnosePattern(
     const petri::PetriNet& net,
     const std::map<std::string, AlarmAutomaton>& automata,
@@ -265,8 +291,15 @@ StatusOr<DiagnosisResult> DiagnosePattern(
     case DiagnosisEngine::kBfhj:
       return UnimplementedError(
           "pattern diagnosis is supported by the Datalog engines only");
-    default:
-      return RunDatalog(net, automata, options, /*depth_hint=*/0);
+    default: {
+      ScopedTimer timer(TimeMetric(
+          "diagnosis.wall_ns", Labels{{"engine", EngineName(options.engine)}}));
+      DQSQ_ASSIGN_OR_RETURN(DiagnosisResult result,
+                            RunDatalog(net, automata, options,
+                                       /*depth_hint=*/0));
+      RecordDiagnosisMetrics(options.engine, result);
+      return result;
+    }
   }
 }
 

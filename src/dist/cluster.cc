@@ -26,6 +26,8 @@ Cluster::Cluster(DatalogContext& ctx, const Program& program,
                  const ParsedQuery& query, uint64_t seed,
                  const EvalOptions& eval_options, Mode mode)
     : network_(seed) {
+  network_.SetPeerNamer(
+      [ctx = &ctx](SymbolId id) { return ctx->symbols().Name(id); });
   std::set<SymbolId> peer_ids;
   peer_ids.insert(query.atom.rel.peer);
   for (const Rule& rule : program.rules) {

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "dist/cluster.h"
 
 namespace dqsq::dist {
@@ -32,6 +33,9 @@ StatusOr<DistResult> DistNaiveSolve(DatalogContext& ctx,
           "stratification cannot be enforced per-message (paper Remark 4)");
     }
   }
+  Labels engine{{"engine", "dnaive"}};
+  CountMetric("dist.solve.queries", 1, engine);
+  ScopedTimer timer(TimeMetric("dist.solve.wall_ns", engine));
   Cluster cluster(ctx, program, query, options.seed, options.eval,
                   Cluster::Mode::kEvaluate);
 
@@ -61,6 +65,8 @@ StatusOr<DistResult> DistNaiveSolve(DatalogContext& ctx,
       [&](const std::string& name) { return idb.contains(name); });
   result.num_peers = cluster.num_peers();
   result.relation_counts = cluster.RelationCounts();
+  CountMetric("dist.solve.total_facts", result.total_facts, engine, "facts");
+  CountMetric("dist.solve.answer_facts", result.answer_facts, engine, "facts");
   return result;
 }
 

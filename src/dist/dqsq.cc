@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "common/metrics.h"
 #include "datalog/adornment.h"
 #include "datalog/qsq_rewrite.h"
 #include "dist/cluster.h"
@@ -19,6 +20,9 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
           "stratification cannot be enforced per-message (paper Remark 4)");
     }
   }
+  Labels engine{{"engine", "dqsq"}};
+  CountMetric("dist.solve.queries", 1, engine);
+  ScopedTimer timer(TimeMetric("dist.solve.wall_ns", engine));
   Cluster cluster(ctx, program, query, options.seed, options.eval,
                   Cluster::Mode::kSourceOnly);
 
@@ -85,6 +89,8 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
       });
   result.num_peers = cluster.num_peers();
   result.relation_counts = cluster.RelationCounts();
+  CountMetric("dist.solve.total_facts", result.total_facts, engine, "facts");
+  CountMetric("dist.solve.answer_facts", result.answer_facts, engine, "facts");
   return result;
 }
 

@@ -4,6 +4,38 @@
 
 namespace dqsq::dist {
 
+namespace {
+
+const char* KindName(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kTuples:
+      return "tuples";
+    case MessageKind::kActivate:
+      return "activate";
+    case MessageKind::kSubquery:
+      return "subquery";
+    case MessageKind::kInstall:
+      return "install";
+    case MessageKind::kAck:
+      return "ack";
+  }
+  return "unknown";
+}
+
+// Approximate wire size: a fixed header plus payload terms at four bytes
+// each and rules at sixteen bytes per atom. The network is simulated, so
+// this is a modeling convention (documented in docs/METRICS.md), not a
+// codec.
+size_t ApproxWireBytes(const Message& m) {
+  size_t bytes = 16;
+  for (const Tuple& t : m.tuples) bytes += 4 * t.size();
+  bytes += (m.adornment.size() + 7) / 8;
+  for (const Rule& r : m.rules) bytes += 16 * (1 + r.body.size());
+  return bytes;
+}
+
+}  // namespace
+
 void SimNetwork::Register(SymbolId id, PeerNode* peer) {
   DQSQ_CHECK(peers_.emplace(id, peer).second) << "duplicate peer id " << id;
 }
@@ -35,10 +67,43 @@ StatusOr<bool> SimNetwork::Step() {
       stats_.rules_shipped += message.rules.size();
     }
   }
+  RecordDelivery(message, std::make_pair(message.from, message.to));
 
   PeerNode* peer = peers_.at(message.to);
   DQSQ_RETURN_IF_ERROR(peer->OnMessage(message, *this));
   return true;
+}
+
+std::string SimNetwork::PeerLabel(SymbolId id) const {
+  if (namer_) return namer_(id);
+  return "peer" + std::to_string(id);
+}
+
+void SimNetwork::RecordDelivery(
+    const Message& message, const std::pair<SymbolId, SymbolId>& channel_key) {
+  auto& registry = MetricsRegistry::Global();
+  registry
+      .GetCounter("dist.net.messages_delivered",
+                  {{"kind", KindName(message.kind)}}, "messages")
+      .Increment();
+  registry.GetCounter("dist.net.bytes", {}, "bytes")
+      .Increment(ApproxWireBytes(message));
+  if (message.kind == MessageKind::kTuples) {
+    registry.GetCounter("dist.net.tuples_shipped", {}, "rows")
+        .Increment(message.tuples.size());
+  } else if (message.kind == MessageKind::kInstall) {
+    registry.GetCounter("dist.net.rules_shipped", {}, "rules")
+        .Increment(message.rules.size());
+  }
+  Counter*& channel = channel_counters_[channel_key];
+  if (channel == nullptr) {
+    channel = &registry.GetCounter(
+        "dist.net.channel_messages",
+        {{"from", PeerLabel(channel_key.first)},
+         {"to", PeerLabel(channel_key.second)}},
+        "messages");
+  }
+  channel->Increment();
 }
 
 Status SimNetwork::RunToQuiescence(size_t max_steps) {

@@ -7,9 +7,12 @@
 #define DQSQ_DIST_NETWORK_H_
 
 #include <deque>
+#include <functional>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "dist/message.h"
@@ -49,11 +52,25 @@ class SimNetwork {
   const NetworkStats& stats() const { return stats_; }
   size_t num_peers() const { return peers_.size(); }
 
+  /// Names peers in metric labels (dist.net.channel_messages{from=,to=}).
+  /// Defaults to "peer<id>". Set before the first Send/Step: channel
+  /// counters are registered once and keep their labels.
+  void SetPeerNamer(std::function<std::string(SymbolId)> namer) {
+    namer_ = std::move(namer);
+  }
+
  private:
+  std::string PeerLabel(SymbolId id) const;
+  void RecordDelivery(const Message& message,
+                      const std::pair<SymbolId, SymbolId>& channel_key);
+
   Rng rng_;
   std::map<SymbolId, PeerNode*> peers_;
   std::map<std::pair<SymbolId, SymbolId>, std::deque<Message>> channels_;
   NetworkStats stats_;
+  std::function<std::string(SymbolId)> namer_;
+  // Per-channel registry counters, resolved once per channel.
+  std::map<std::pair<SymbolId, SymbolId>, Counter*> channel_counters_;
 };
 
 /// Interface implemented by dDatalog peers (and test doubles).

@@ -3,9 +3,18 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "datalog/qsq_rewrite.h"
 
 namespace dqsq::dist {
+
+namespace {
+
+Labels PeerLabels(DatalogContext* ctx, SymbolId id) {
+  return Labels{{"peer", ctx->symbols().Name(id)}};
+}
+
+}  // namespace
 
 DatalogPeer::DatalogPeer(SymbolId id, DatalogContext* ctx,
                          EvalOptions eval_options)
@@ -13,6 +22,7 @@ DatalogPeer::DatalogPeer(SymbolId id, DatalogContext* ctx,
 
 void DatalogPeer::InstallRule(const Rule& rule) {
   program_.rules.push_back(rule);
+  CountMetric("dist.peer.rules_installed", 1, PeerLabels(ctx_, id_), "rules");
 }
 
 void DatalogPeer::InstallSourceRule(const Rule& rule) {
@@ -42,6 +52,7 @@ Status DatalogPeer::OnMessage(const Message& message, SimNetwork& network) {
   // Basic message: engage (deferring the ack to disengagement) or ack
   // immediately when already engaged.
   bool ack_now = ds_.OnReceiveBasic(message.from);
+  if (!ack_now) CountMetric("dist.ds.engagements", 1, PeerLabels(ctx_, id_));
   Status status = Dispatch(message, network);
   if (ack_now) SendAck(message.from, network);
   MaybeDisengage(network);
@@ -109,6 +120,7 @@ Status DatalogPeer::Activate(const RelId& rel, SymbolId subscriber,
 Status DatalogPeer::OnSubquery(const RelId& rel, const Adornment& adornment,
                                SimNetwork& network) {
   DQSQ_CHECK_EQ(rel.peer, id_) << "subquery routed to the wrong peer";
+  CountMetric("dist.peer.subqueries_received", 1, PeerLabels(ctx_, id_));
   return RewriteForPattern(rel, adornment, network);
 }
 
@@ -118,6 +130,7 @@ Status DatalogPeer::RewriteForPattern(const RelId& rel,
   auto key = std::make_pair(rel.pred, adornment);
   if (rewritten_.contains(key)) return Status::Ok();  // reuse machinery
   rewritten_.insert(key);
+  CountMetric("dist.peer.rewrites", 1, PeerLabels(ctx_, id_));
 
   const std::string& base = ctx_->PredicateName(rel.pred);
   uint32_t arity = ctx_->PredicateArity(rel.pred);
@@ -231,6 +244,7 @@ Status DatalogPeer::RewriteForPattern(const RelId& rel,
 }
 
 Status DatalogPeer::RunFixpointAndFlush(SimNetwork& network) {
+  CountMetric("dist.peer.fixpoints", 1, PeerLabels(ctx_, id_));
   DQSQ_RETURN_IF_ERROR(Evaluate(program_, db_, eval_options_).status());
   // Stream owned relations to their subscribers (dnaive data flow).
   for (const auto& [rel, subs] : subscribers_) {
@@ -289,6 +303,7 @@ void DatalogPeer::MaybeDisengage(SimNetwork& network) {
   // a zero deficit lets them disengage and ack the tree parent.
   if (ds_.TryDisengage()) {
     DQSQ_CHECK_NE(ds_.parent(), kNoNode);
+    CountMetric("dist.ds.disengagements", 1, PeerLabels(ctx_, id_));
     SendAck(ds_.parent(), network);
   }
 }

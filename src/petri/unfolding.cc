@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace dqsq::petri {
 
@@ -20,6 +21,7 @@ class UnfoldingBuilder {
   }
 
   StatusOr<Unfolding> Run() {
+    ScopedTimer timer(TimeMetric("petri.unfold.wall_ns"));
     // Roots: one condition per initially marked place, pairwise concurrent.
     for (PlaceId p = 0; p < net_.num_places(); ++p) {
       if (!net_.initial_marking()[p]) continue;
@@ -49,6 +51,7 @@ class UnfoldingBuilder {
         }
       }
     }
+    FlushMetrics();
     return std::move(u_);
   }
 
@@ -104,7 +107,24 @@ class UnfoldingBuilder {
     return true;
   }
 
+  // Hot-loop accounting stays in plain members; FlushMetrics() pushes the
+  // totals to the registry once per build.
+  void FlushMetrics() {
+    auto& registry = MetricsRegistry::Global();
+    registry.GetCounter("petri.unfold.builds").Increment();
+    registry.GetCounter("petri.unfold.events", {}, "events")
+        .Increment(u_.events_.size());
+    registry.GetCounter("petri.unfold.conditions", {}, "conditions")
+        .Increment(u_.conditions_.size());
+    registry.GetCounter("petri.unfold.pe_candidates", {}, "events")
+        .Increment(pe_candidates_);
+    registry.GetCounter("petri.unfold.cutoffs", {}, "events")
+        .Increment(cutoff_hits_);
+    if (!u_.complete_) registry.GetCounter("petri.unfold.truncated").Increment();
+  }
+
   bool AddEventIfNew(TransitionId t, const std::vector<CondId>& preset) {
+    ++pe_candidates_;
     // Dedup on (transition, preset-as-set).
     std::vector<CondId> key = preset;
     std::sort(key.begin(), key.end());
@@ -155,6 +175,7 @@ class UnfoldingBuilder {
       }
     }
     event.cutoff = cutoff;
+    if (cutoff) ++cutoff_hits_;
 
     u_.events_.push_back(std::move(event));
     u_.ancestors_.push_back(std::move(anc));
@@ -218,6 +239,8 @@ class UnfoldingBuilder {
   std::deque<CondId> pending_;
   std::set<std::pair<TransitionId, std::vector<CondId>>> seen_events_;
   std::map<Marking, size_t> markings_;  // marking -> smallest |[e]|
+  size_t pe_candidates_ = 0;  // AddEventIfNew calls (possible extensions)
+  size_t cutoff_hits_ = 0;    // events flagged cut-off by McMillan's test
 };
 
 StatusOr<Unfolding> Unfolding::Build(const PetriNet& net,
