@@ -1,7 +1,15 @@
 // E3 — distributed evaluation (§3.2 / Theorem 1): messages delivered,
 // tuples shipped and facts materialized across peers for distributed
 // naive evaluation vs dQSQ on a chain partitioned over k peers.
+//
+// A second report (BENCH_E3_distributed_lossy.json) runs the same chain
+// under fault-injection plans and tabulates the reliable-delivery shim's
+// overhead (retransmits, spurious deliveries, transport acks) against the
+// lossless baseline. The lossless table is written first, from its own
+// reporter, so its counts are untouched by the lossy runs.
+#include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_report.h"
 #include "bench/bench_util.h"
@@ -12,27 +20,79 @@ using namespace dqsq;
 
 namespace {
 
+// Microbench for SimNetwork::Step's channel scheduling: a dense all-pairs
+// topology, where rebuilding the non-empty-channel vector per delivery
+// (the pre-incremental-index behavior) cost O(#channels) per step. The
+// result is recorded as step_micro_* params in BENCH_E3_distributed.json
+// so the speedup stays pinned across commits. Runs before the reporter
+// snapshot: its traffic does not pollute the E3 counters.
+struct StepMicroResult {
+  size_t messages = 0;
+  int64_t wall_ns = 0;
+};
+
+StepMicroResult StepMicrobench() {
+  class SinkPeer : public dist::PeerNode {
+   public:
+    Status OnMessage(const dist::Message&, dist::SimNetwork&) override {
+      return Status::Ok();
+    }
+  };
+  const uint32_t kPeers = 48;      // 2256 directed channels
+  const uint32_t kPerChannel = 4;
+  dist::SimNetwork net(1);
+  std::vector<std::unique_ptr<SinkPeer>> peers;
+  for (uint32_t p = 0; p < kPeers; ++p) {
+    peers.push_back(std::make_unique<SinkPeer>());
+    net.Register(p, peers.back().get());
+  }
+  StepMicroResult result;
+  for (uint32_t from = 0; from < kPeers; ++from) {
+    for (uint32_t to = 0; to < kPeers; ++to) {
+      if (from == to) continue;
+      for (uint32_t i = 0; i < kPerChannel; ++i) {
+        dist::Message m;
+        m.kind = dist::MessageKind::kTuples;
+        m.from = from;
+        m.to = to;
+        net.Send(std::move(m));
+        ++result.messages;
+      }
+    }
+  }
+  auto start = std::chrono::steady_clock::now();
+  DQSQ_CHECK_OK(net.RunToQuiescence());
+  result.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  DQSQ_CHECK_EQ(net.stats().messages_delivered, result.messages);
+  return result;
+}
+
+dist::DistResult Run(const std::string& program_text,
+                     const std::string& query_text, bool qsq,
+                     const dist::FaultPlan& faults = {}) {
+  DatalogContext ctx;
+  auto program = ParseProgram(program_text, ctx);
+  DQSQ_CHECK_OK(program.status());
+  auto query = ParseQuery(query_text, ctx);
+  DQSQ_CHECK_OK(query.status());
+  dist::DistOptions opts;
+  opts.faults = faults;
+  auto result = qsq ? dist::DistQsqSolve(ctx, *program, *query, opts)
+                    : dist::DistNaiveSolve(ctx, *program, *query, opts);
+  DQSQ_CHECK_OK(result.status());
+  return *std::move(result);
+}
+
 void Row(int peers, int per_peer) {
   const std::string program_text =
       bench::DistributedChainProgram(peers, per_peer);
   // Query bound at the first peer: demand (and data) traverses every
   // peer of the chain.
   const std::string query_text = "path@peer0(v0, Y)";
-
-  auto run = [&](bool qsq) {
-    DatalogContext ctx;
-    auto program = ParseProgram(program_text, ctx);
-    DQSQ_CHECK_OK(program.status());
-    auto query = ParseQuery(query_text, ctx);
-    DQSQ_CHECK_OK(query.status());
-    dist::DistOptions opts;
-    auto result = qsq ? dist::DistQsqSolve(ctx, *program, *query, opts)
-                      : dist::DistNaiveSolve(ctx, *program, *query, opts);
-    DQSQ_CHECK_OK(result.status());
-    return *std::move(result);
-  };
-  auto naive = run(false);
-  auto qsq = run(true);
+  auto naive = Run(program_text, query_text, /*qsq=*/false);
+  auto qsq = Run(program_text, query_text, /*qsq=*/true);
   std::printf(
       "%5d %8d | %8zu %8zu %8zu | %8zu %8zu %8zu | %s\n", peers, per_peer,
       naive.net_stats.messages_delivered, naive.net_stats.tuples_shipped,
@@ -41,23 +101,107 @@ void Row(int peers, int per_peer) {
       naive.answers == qsq.answers ? "agree" : "MISMATCH");
 }
 
+struct PlanCase {
+  const char* name;
+  dist::FaultPlan plan;
+};
+
+std::vector<PlanCase> LossyMatrix() {
+  std::vector<PlanCase> cases;
+  cases.push_back({"lossless", {}});
+  dist::FaultPlan drop;
+  drop.drop = 0.1;
+  cases.push_back({"drop0.1", drop});
+  dist::FaultPlan dup;
+  dup.duplicate = 0.1;
+  cases.push_back({"dup0.1", dup});
+  dist::FaultPlan delay;
+  delay.delay = 0.3;
+  delay.max_delay_steps = 12;
+  cases.push_back({"delay0.3", delay});
+  dist::FaultPlan all;
+  all.drop = 0.1;
+  all.duplicate = 0.1;
+  all.delay = 0.2;
+  cases.push_back({"all", all});
+  return cases;
+}
+
+void LossyTable(bench::BenchReporter& reporter) {
+  const int kPeers = 4, kPerPeer = 16;
+  const std::string program_text =
+      bench::DistributedChainProgram(kPeers, kPerPeer);
+  const std::string query_text = "path@peer0(v0, Y)";
+  reporter.Param("workload", "distributed_chain");
+  reporter.Param("peers", int64_t{kPeers});
+  reporter.Param("per_peer", int64_t{kPerPeer});
+  reporter.Param("query", query_text);
+  std::printf(
+      "\nE3-lossy: reliable delivery under fault injection (chain %dx%d, "
+      "dQSQ)\n%-9s | %8s %8s %8s %8s %8s %8s | %s\n",
+      kPeers, kPerPeer, "plan", "msgs", "dropped", "dup", "retrans",
+      "spurious", "acks", "answers");
+  const auto baseline = Run(program_text, query_text, /*qsq=*/true);
+  for (const PlanCase& c : LossyMatrix()) {
+    auto result = Run(program_text, query_text, /*qsq=*/true, c.plan);
+    const auto& s = result.net_stats;
+    std::printf("%-9s | %8zu %8zu %8zu %8zu %8zu %8zu | %s\n", c.name,
+                s.messages_delivered, s.dropped, s.duplicated, s.retransmits,
+                s.spurious, s.transport_acks,
+                result.answers == baseline.answers ? "agree" : "MISMATCH");
+    const std::string prefix = std::string("plan.") + c.name + ".";
+    reporter.Param(prefix + "messages_delivered",
+                   static_cast<int64_t>(s.messages_delivered));
+    reporter.Param(prefix + "dropped", static_cast<int64_t>(s.dropped));
+    reporter.Param(prefix + "duplicated", static_cast<int64_t>(s.duplicated));
+    reporter.Param(prefix + "retransmits",
+                   static_cast<int64_t>(s.retransmits));
+    reporter.Param(prefix + "spurious", static_cast<int64_t>(s.spurious));
+    reporter.Param(prefix + "transport_acks",
+                   static_cast<int64_t>(s.transport_acks));
+    reporter.Param(prefix + "answers_agree",
+                   std::string(result.answers == baseline.answers ? "true"
+                                                                  : "false"));
+  }
+}
+
 }  // namespace
 
 int main() {
-  bench::BenchReporter reporter("E3_distributed");
-  reporter.Param("workload", "distributed_chain");
-  reporter.Param("query", "path@peer0(v0, Y)");
-  std::printf(
-      "E3: distributed chain, query path@peer0(v0, Y) spanning all peers\n"
-      "%5s %8s | %28s | %28s |\n"
-      "%5s %8s | %8s %8s %8s | %8s %8s %8s |\n",
-      "peers", "per-peer", "---------- dnaive ----------",
-      "----------- dQSQ -----------", "", "", "msgs", "tuples", "facts",
-      "msgs", "tuples", "facts");
-  for (int peers : {2, 4, 6, 8}) {
-    for (int per_peer : {8, 16}) {
-      Row(peers, per_peer);
+  {
+    bench::BenchReporter reporter("E3_distributed");
+    reporter.Param("workload", "distributed_chain");
+    reporter.Param("query", "path@peer0(v0, Y)");
+    std::printf(
+        "E3: distributed chain, query path@peer0(v0, Y) spanning all peers\n"
+        "%5s %8s | %28s | %28s |\n"
+        "%5s %8s | %8s %8s %8s | %8s %8s %8s |\n",
+        "peers", "per-peer", "---------- dnaive ----------",
+        "----------- dQSQ -----------", "", "", "msgs", "tuples", "facts",
+        "msgs", "tuples", "facts");
+    for (int peers : {2, 4, 6, 8}) {
+      for (int per_peer : {8, 16}) {
+        Row(peers, per_peer);
+      }
     }
+    reporter.Write();
+  }
+  {
+    bench::BenchReporter reporter("E3_distributed_lossy");
+    LossyTable(reporter);
+  }
+  {
+    // Last, so its 48x47 channel counters never pollute the E3 reports.
+    bench::BenchReporter reporter("E3_step_micro");
+    StepMicroResult micro = StepMicrobench();
+    std::printf("\nstep-micro: %zu msgs over a dense 48-peer wire in "
+                "%.2f ms (%.0f msgs/ms)\n",
+                micro.messages, micro.wall_ns / 1e6,
+                micro.messages / (micro.wall_ns / 1e6));
+    reporter.Param("topology", "dense_all_pairs");
+    reporter.Param("peers", int64_t{48});
+    reporter.Param("messages", static_cast<int64_t>(micro.messages));
+    reporter.Param("wall_ns", micro.wall_ns);
   }
   return 0;
 }

@@ -24,8 +24,9 @@ Status RootNode::OnMessage(const Message& message, SimNetwork& network) {
 
 Cluster::Cluster(DatalogContext& ctx, const Program& program,
                  const ParsedQuery& query, uint64_t seed,
-                 const EvalOptions& eval_options, Mode mode)
-    : network_(seed) {
+                 const EvalOptions& eval_options, Mode mode,
+                 const FaultPlan& faults)
+    : network_(seed, faults) {
   network_.SetPeerNamer(
       [ctx = &ctx](SymbolId id) { return ctx->symbols().Name(id); });
   std::set<SymbolId> peer_ids;
@@ -61,7 +62,10 @@ Cluster::Cluster(DatalogContext& ctx, const Program& program,
 Status Cluster::RunUntilTermination(size_t max_steps) {
   for (size_t i = 0; i < max_steps; ++i) {
     if (root_->terminated()) {
-      if (!network_.Quiescent()) {
+      // On a faulty wire transport residue (duplicate copies, acks,
+      // retransmits of delivered messages) may still be in flight; the
+      // algorithm's safety property is that no undelivered payload is.
+      if (!network_.LogicallyQuiescent()) {
         return InternalError(
             "Dijkstra-Scholten detected termination on a non-quiescent "
             "network (safety violation)");

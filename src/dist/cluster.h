@@ -49,10 +49,12 @@ class Cluster {
 
   /// Creates one peer per peer name occurring in `program` or `query`.
   /// Ground facts load into the owning peer's database; proper rules are
-  /// installed according to `mode`.
+  /// installed according to `mode`. An active `faults` plan runs the
+  /// network with fault injection plus the reliable-delivery shim.
   Cluster(DatalogContext& ctx, const Program& program,
           const ParsedQuery& query, uint64_t seed,
-          const EvalOptions& eval_options, Mode mode);
+          const EvalOptions& eval_options, Mode mode,
+          const FaultPlan& faults = {});
 
   SimNetwork& network() { return network_; }
   DatalogPeer& peer(SymbolId id) { return *peers_.at(id); }

@@ -37,7 +37,7 @@ StatusOr<DistResult> DistNaiveSolve(DatalogContext& ctx,
   CountMetric("dist.solve.queries", 1, engine);
   ScopedTimer timer(TimeMetric("dist.solve.wall_ns", engine));
   Cluster cluster(ctx, program, query, options.seed, options.eval,
-                  Cluster::Mode::kEvaluate);
+                  Cluster::Mode::kEvaluate, options.faults);
 
   // The driver seeds the computation as the root of a Dijkstra-Scholten
   // diffusing computation: it sends the activation request and then just
@@ -57,6 +57,9 @@ StatusOr<DistResult> DistNaiveSolve(DatalogContext& ctx,
       cluster.RunUntilTermination(options.max_network_steps));
 
   DistResult result;
+  // RunUntilTermination fails the solve on a safety violation, so reaching
+  // this point certifies quiescence at the instant of detection.
+  result.quiescent_at_detection = true;
   result.answers = Ask(owner.db(), query.atom, query.num_vars);
   result.net_stats = cluster.network().stats();
   result.total_facts = cluster.TotalFacts();

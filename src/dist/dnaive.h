@@ -29,12 +29,19 @@ struct DistResult {
   /// Facts per predicate name, summed across peers (for materialization
   /// accounting by the diagnosis layer and the benchmarks).
   std::map<std::string, size_t> relation_counts;
+  /// True iff at the instant Dijkstra-Scholten detection fired no
+  /// undelivered payload was in flight (verified on every successful run;
+  /// a violation fails the solve instead of returning false here).
+  bool quiescent_at_detection = false;
 };
 
 struct DistOptions {
   uint64_t seed = 1;
   EvalOptions eval;
   size_t max_network_steps = 1'000'000;
+  /// Fault injection for the simulated wire. An active plan engages the
+  /// reliable-delivery shim; the default loss-free plan adds no traffic.
+  FaultPlan faults;
 };
 
 /// Evaluates `query` over the distributed program. Facts may be given as

@@ -24,7 +24,7 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
   CountMetric("dist.solve.queries", 1, engine);
   ScopedTimer timer(TimeMetric("dist.solve.wall_ns", engine));
   Cluster cluster(ctx, program, query, options.seed, options.eval,
-                  Cluster::Mode::kSourceOnly);
+                  Cluster::Mode::kSourceOnly, options.faults);
 
   const RelId query_rel = query.atom.rel;
   Adornment adornment = QueryAdornment(query.atom);
@@ -73,6 +73,9 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
       cluster.RunUntilTermination(options.max_network_steps));
 
   DistResult result;
+  // RunUntilTermination fails the solve on a safety violation, so reaching
+  // this point certifies quiescence at the instant of detection.
+  result.quiescent_at_detection = true;
   Atom answer_query{answer_rel, query.atom.args};
   result.answers = Ask(owner.db(), answer_query, query.num_vars);
   result.net_stats = cluster.network().stats();

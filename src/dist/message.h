@@ -15,11 +15,12 @@
 namespace dqsq::dist {
 
 enum class MessageKind {
-  kTuples,     // data for `rel` (owned by the receiver or a replica there)
-  kActivate,   // activate `rel`; stream its tuples to `subscriber`
-  kSubquery,   // demand for the call pattern (rel, adornment)
-  kInstall,    // install `rules` at the receiver (their bodies are local)
-  kAck,        // termination-detection acknowledgment
+  kTuples,        // data for `rel` (owned by the receiver or a replica there)
+  kActivate,      // activate `rel`; stream its tuples to `subscriber`
+  kSubquery,      // demand for the call pattern (rel, adornment)
+  kInstall,       // install `rules` at the receiver (their bodies are local)
+  kAck,           // termination-detection acknowledgment
+  kTransportAck,  // reliable-delivery cumulative ack; never reaches peers
 };
 
 struct Message {
@@ -32,6 +33,14 @@ struct Message {
   SymbolId subscriber = 0;       // kActivate
   std::vector<bool> adornment;   // kSubquery
   std::vector<Rule> rules;       // kInstall
+
+  // Reliable-delivery envelope, stamped by the transport shim when the
+  // network runs with fault injection; all zero on a loss-free network.
+  uint64_t seq = 0;          // 1-based per-(from,to)-channel sequence number
+  uint64_t ack = 0;          // piggybacked cumulative ack: every message of
+                             // the reverse (to,from) channel with seq <= ack
+                             // has been received (0 = nothing acked yet)
+  bool retransmit = false;   // wire copy resent after a timeout
 };
 
 }  // namespace dqsq::dist

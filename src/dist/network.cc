@@ -1,5 +1,7 @@
 #include "dist/network.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dqsq::dist {
@@ -18,6 +20,8 @@ const char* KindName(MessageKind kind) {
       return "install";
     case MessageKind::kAck:
       return "ack";
+    case MessageKind::kTransportAck:
+      return "transport_ack";
   }
   return "unknown";
 }
@@ -36,6 +40,14 @@ size_t ApproxWireBytes(const Message& m) {
 
 }  // namespace
 
+SimNetwork::SimNetwork(uint64_t seed, const FaultPlan& faults,
+                       bool force_reliable)
+    : rng_(seed), fault_rng_(seed ^ 0x5eed5eed5eed5eedULL), faults_(faults) {
+  if (faults_.active() || force_reliable) {
+    transport_ = std::make_unique<ReliableTransport>(faults_.reliable);
+  }
+}
+
 void SimNetwork::Register(SymbolId id, PeerNode* peer) {
   DQSQ_CHECK(peers_.emplace(id, peer).second) << "duplicate peer id " << id;
 }
@@ -43,20 +55,108 @@ void SimNetwork::Register(SymbolId id, PeerNode* peer) {
 void SimNetwork::Send(Message message) {
   DQSQ_CHECK(peers_.contains(message.to))
       << "send to unregistered peer " << message.to;
-  auto key = std::make_pair(message.from, message.to);
-  channels_[key].push_back(std::move(message));
+  DQSQ_CHECK(peers_.contains(message.from))
+      << "send from unregistered peer " << message.from;
+  if (transport_ != nullptr) transport_->StampOutgoing(message, now_);
+  EnqueueWire(std::move(message));
+}
+
+void SimNetwork::EnqueueWire(Message m) {
+  if (!faults_.active()) {
+    PushToChannel(std::move(m));
+    return;
+  }
+  if (fault_rng_.NextBool(faults_.drop)) {
+    ++stats_.dropped;
+    CountMetric("dist.net.dropped", 1, {}, "messages");
+    return;
+  }
+  if (fault_rng_.NextBool(faults_.duplicate)) {
+    ++stats_.duplicated;
+    CountMetric("dist.net.duplicated", 1, {}, "messages");
+    DeliverOrDelay(m);  // the extra copy takes its own delay draw
+  }
+  DeliverOrDelay(std::move(m));
+}
+
+void SimNetwork::DeliverOrDelay(Message m) {
+  if (faults_.delay > 0.0 && fault_rng_.NextBool(faults_.delay)) {
+    ++stats_.delayed;
+    CountMetric("dist.net.delayed", 1, {}, "messages");
+    uint32_t window = std::max<uint32_t>(faults_.max_delay_steps, 1);
+    delayed_.emplace(now_ + 1 + fault_rng_.NextBelow(window), std::move(m));
+    return;
+  }
+  PushToChannel(std::move(m));
+}
+
+void SimNetwork::PushToChannel(Message m) {
+  ChannelKey key{m.from, m.to};
+  auto [it, inserted] = channels_.try_emplace(key);
+  std::deque<Message>& channel = it->second;
+  if (channel.empty()) {
+    auto pos = std::lower_bound(
+        nonempty_.begin(), nonempty_.end(), key,
+        [](const auto& entry, const ChannelKey& k) { return entry.first < k; });
+    nonempty_.insert(pos, {key, &channel});
+  }
+  channel.push_back(std::move(m));
+}
+
+void SimNetwork::ReleaseDelayed() {
+  while (!delayed_.empty() && delayed_.begin()->first <= now_) {
+    Message m = std::move(delayed_.begin()->second);
+    delayed_.erase(delayed_.begin());
+    PushToChannel(std::move(m));
+  }
+}
+
+void SimNetwork::PumpTransport() {
+  for (Message& m : transport_->PollWire(now_)) {
+    if (m.retransmit) {
+      ++stats_.retransmits;
+      CountMetric("dist.net.retransmits", 1, {}, "messages");
+    } else {
+      ++stats_.transport_acks;
+      CountMetric("dist.net.transport_acks", 1, {}, "messages");
+    }
+    EnqueueWire(std::move(m));
+  }
 }
 
 StatusOr<bool> SimNetwork::Step() {
-  // Collect non-empty channels, pick one uniformly.
-  std::vector<std::deque<Message>*> nonempty;
-  for (auto& [key, channel] : channels_) {
-    if (!channel.empty()) nonempty.push_back(&channel);
+  ++now_;
+  if (!delayed_.empty()) ReleaseDelayed();
+  if (transport_ != nullptr) PumpTransport();
+  if (nonempty_.empty()) {
+    // Nothing on the wire. Timeouts run on virtual time, so fast-forward
+    // the clock to the next delayed release or shim deadline, if any.
+    uint64_t next = 0;
+    bool pending = false;
+    if (!delayed_.empty()) {
+      next = delayed_.begin()->first;
+      pending = true;
+    }
+    if (transport_ != nullptr) {
+      if (auto due = transport_->NextDue(); due.has_value()) {
+        next = pending ? std::min(next, *due) : *due;
+        pending = true;
+      }
+    }
+    if (!pending) return false;
+    now_ = std::max(now_, next);
+    ReleaseDelayed();
+    if (transport_ != nullptr) PumpTransport();
+    // The injected traffic may itself have been dropped by the fault plan;
+    // report progress and let the caller's step budget bound the retries.
+    if (nonempty_.empty()) return true;
   }
-  if (nonempty.empty()) return false;
-  auto* channel = nonempty[rng_.NextBelow(nonempty.size())];
+
+  size_t pick = rng_.NextBelow(nonempty_.size());
+  auto [key, channel] = nonempty_[pick];
   Message message = std::move(channel->front());
   channel->pop_front();
+  if (channel->empty()) nonempty_.erase(nonempty_.begin() + pick);
 
   ++stats_.messages_delivered;
   if (message.kind == MessageKind::kTuples) {
@@ -67,7 +167,20 @@ StatusOr<bool> SimNetwork::Step() {
       stats_.rules_shipped += message.rules.size();
     }
   }
-  RecordDelivery(message, std::make_pair(message.from, message.to));
+  RecordDelivery(message, key);
+
+  if (transport_ != nullptr) {
+    switch (transport_->OnWireDelivery(message, now_)) {
+      case ReliableTransport::Disposition::kControl:
+        return true;
+      case ReliableTransport::Disposition::kDuplicate:
+        ++stats_.spurious;
+        CountMetric("dist.net.spurious", 1, {}, "messages");
+        return true;
+      case ReliableTransport::Disposition::kDeliverFirst:
+        break;  // exactly-once: the peer sees only first deliveries
+    }
+  }
 
   PeerNode* peer = peers_.at(message.to);
   DQSQ_RETURN_IF_ERROR(peer->OnMessage(message, *this));
@@ -79,8 +192,8 @@ std::string SimNetwork::PeerLabel(SymbolId id) const {
   return "peer" + std::to_string(id);
 }
 
-void SimNetwork::RecordDelivery(
-    const Message& message, const std::pair<SymbolId, SymbolId>& channel_key) {
+void SimNetwork::RecordDelivery(const Message& message,
+                                const ChannelKey& channel_key) {
   auto& registry = MetricsRegistry::Global();
   registry
       .GetCounter("dist.net.messages_delivered",
@@ -111,14 +224,32 @@ Status SimNetwork::RunToQuiescence(size_t max_steps) {
     DQSQ_ASSIGN_OR_RETURN(bool delivered, Step());
     if (!delivered) return Status::Ok();
   }
+  // The budget may be exhausted by exactly the delivery that reached
+  // quiescence; only a network with work left is an error.
+  if (Quiescent()) return Status::Ok();
   return ResourceExhaustedError("network did not quiesce within budget");
 }
 
 bool SimNetwork::Quiescent() const {
+  if (!nonempty_.empty() || !delayed_.empty()) return false;
+  return transport_ == nullptr || !transport_->NextDue().has_value();
+}
+
+bool SimNetwork::LogicallyQuiescent() const {
+  if (transport_ == nullptr) return Quiescent();
+  auto undelivered = [&](const Message& m) {
+    return m.kind != MessageKind::kTransportAck &&
+           !transport_->Seen({m.from, m.to}, m.seq);
+  };
   for (const auto& [key, channel] : channels_) {
-    if (!channel.empty()) return false;
+    for (const Message& m : channel) {
+      if (undelivered(m)) return false;
+    }
   }
-  return true;
+  for (const auto& [release, m] : delayed_) {
+    if (undelivered(m)) return false;
+  }
+  return transport_->AllPayloadDelivered();
 }
 
 }  // namespace dqsq::dist

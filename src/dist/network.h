@@ -3,12 +3,20 @@
 // same property); the cross-channel delivery order is chosen by a seeded
 // RNG, modeling arbitrary asynchrony deterministically. Message and tuple
 // accounting feeds the communication experiments (E3).
+//
+// A FaultPlan turns the loss-free wire into a faulty one: per-message drop,
+// duplication and delay-reorder probabilities, drawn from a dedicated RNG
+// so the scheduler's trajectory is untouched when every probability is 0.
+// An active plan engages the ReliableTransport shim (dist/reliable.h)
+// between the peers and the raw wire, restoring exactly-once delivery; the
+// loss-free default bypasses the shim entirely (zero overhead).
 #ifndef DQSQ_DIST_NETWORK_H_
 #define DQSQ_DIST_NETWORK_H_
 
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,39 +24,79 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "dist/message.h"
+#include "dist/reliable.h"
 
 namespace dqsq::dist {
 
 class PeerNode;
+
+/// Per-message fault probabilities applied to every wire enqueue
+/// (including retransmits and transport acks). All-zero means a perfect
+/// wire and no reliability shim.
+struct FaultPlan {
+  double drop = 0.0;       // message vanishes in transit
+  double duplicate = 0.0;  // a second wire copy is enqueued
+  double delay = 0.0;      // message held back 1..max_delay_steps deliveries
+                           // (breaks per-channel FIFO: reordering)
+  uint32_t max_delay_steps = 8;
+  ReliableConfig reliable;  // shim tuning, used when the plan is active
+
+  bool active() const { return drop > 0.0 || duplicate > 0.0 || delay > 0.0; }
+};
 
 struct NetworkStats {
   size_t messages_delivered = 0;
   size_t tuples_shipped = 0;     // sum of kTuples payload sizes
   size_t control_messages = 0;   // activate/subquery/install/ack
   size_t rules_shipped = 0;      // total rules in kInstall messages
+  // Fault-injection and reliable-delivery accounting (0 on a perfect wire).
+  size_t dropped = 0;            // messages destroyed by the fault plan
+  size_t duplicated = 0;         // extra wire copies injected
+  size_t delayed = 0;            // messages delay-reordered
+  size_t retransmits = 0;        // timeout-driven resends by the shim
+  size_t spurious = 0;           // deliveries suppressed by receiver dedup
+  size_t transport_acks = 0;     // standalone kTransportAck messages sent
 };
 
 class SimNetwork {
  public:
-  explicit SimNetwork(uint64_t seed) : rng_(seed) {}
+  /// `force_reliable` engages the shim even under an inactive plan (used to
+  /// measure the shim's own overhead on a perfect wire).
+  explicit SimNetwork(uint64_t seed, const FaultPlan& faults = {},
+                      bool force_reliable = false);
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
 
   /// Registers a peer; the network does not own it.
   void Register(SymbolId id, PeerNode* peer);
 
-  /// Enqueues a message on the (from, to) FIFO channel.
+  /// Enqueues a message on the (from, to) FIFO channel. Both endpoints
+  /// must be registered: an unregistered sender would corrupt
+  /// Dijkstra-Scholten ack routing at the receiver.
   void Send(Message message);
 
   /// Delivers one message from a randomly chosen non-empty channel.
-  /// Returns false if every channel is empty.
+  /// Returns false if no traffic exists or is pending; may return true
+  /// without a delivery when only delayed/retransmit traffic is pending
+  /// (the virtual clock advances to its due time).
   StatusOr<bool> Step();
 
   /// Delivers messages until quiescence (no in-flight messages — the
   /// "god's view" fixpoint of §3.1) or until `max_steps` deliveries.
   Status RunToQuiescence(size_t max_steps = 10'000'000);
 
+  /// True iff Step() has nothing left to do: channels and the delay queue
+  /// are empty and the shim owes no retransmits or acks.
   bool Quiescent() const;
+
+  /// True iff no undelivered payload exists anywhere: every in-flight or
+  /// retransmit-pending message is transport residue (a duplicate the
+  /// receiver already saw, or an ack). On a perfect wire this is
+  /// Quiescent(). This is the invariant Dijkstra-Scholten guarantees at
+  /// the instant of detection.
+  bool LogicallyQuiescent() const;
+
+  bool reliable() const { return transport_ != nullptr; }
   const NetworkStats& stats() const { return stats_; }
   size_t num_peers() const { return peers_.size(); }
 
@@ -60,17 +108,38 @@ class SimNetwork {
   }
 
  private:
-  std::string PeerLabel(SymbolId id) const;
-  void RecordDelivery(const Message& message,
-                      const std::pair<SymbolId, SymbolId>& channel_key);
+  using ChannelKey = std::pair<SymbolId, SymbolId>;
 
-  Rng rng_;
+  std::string PeerLabel(SymbolId id) const;
+  void RecordDelivery(const Message& message, const ChannelKey& channel_key);
+
+  /// Applies the fault plan and puts `m` on the wire (or drops it).
+  void EnqueueWire(Message m);
+  /// Delay-reorder leg of fault injection; appends to a channel otherwise.
+  void DeliverOrDelay(Message m);
+  /// Appends to the (from,to) channel, maintaining the non-empty index.
+  void PushToChannel(Message m);
+  /// Moves delayed messages whose release time has come onto channels.
+  void ReleaseDelayed();
+  /// Enqueues the shim's due retransmits and standalone acks.
+  void PumpTransport();
+
+  Rng rng_;        // scheduler: cross-channel interleaving only
+  Rng fault_rng_;  // fault draws; never consulted when the plan is inactive
+  FaultPlan faults_;
+  std::unique_ptr<ReliableTransport> transport_;  // engaged iff plan active
+  uint64_t now_ = 0;  // virtual time: one tick per Step()
   std::map<SymbolId, PeerNode*> peers_;
-  std::map<std::pair<SymbolId, SymbolId>, std::deque<Message>> channels_;
+  std::map<ChannelKey, std::deque<Message>> channels_;
+  // Non-empty channels, sorted by key — maintained incrementally so Step()
+  // picks in O(1) instead of rescanning every channel (the scan was
+  // quadratic-ish on E3 chains). Deque pointers are stable (map values).
+  std::vector<std::pair<ChannelKey, std::deque<Message>*>> nonempty_;
+  std::multimap<uint64_t, Message> delayed_;  // release time -> message
   NetworkStats stats_;
   std::function<std::string(SymbolId)> namer_;
   // Per-channel registry counters, resolved once per channel.
-  std::map<std::pair<SymbolId, SymbolId>, Counter*> channel_counters_;
+  std::map<ChannelKey, Counter*> channel_counters_;
 };
 
 /// Interface implemented by dDatalog peers (and test doubles).

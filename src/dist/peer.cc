@@ -84,6 +84,8 @@ Status DatalogPeer::Dispatch(const Message& message, SimNetwork& network) {
       return RunFixpointAndFlush(network);
     case MessageKind::kAck:
       return InternalError("ack handled before dispatch");
+    case MessageKind::kTransportAck:
+      return InternalError("transport ack leaked through the network shim");
   }
   return InternalError("unknown message kind");
 }

@@ -1,0 +1,124 @@
+#include "dist/reliable.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dqsq::dist {
+
+void ReliableTransport::StampOutgoing(Message& m, uint64_t now) {
+  ChannelKey channel{m.from, m.to};
+  SenderState& sender = senders_[channel];
+  m.seq = ++sender.next_seq;
+  // Piggyback the cumulative ack for the reverse channel; any reverse
+  // traffic carries it, so a standalone ack is only needed on silence.
+  ReceiverState& reverse = receivers_[ChannelKey{m.to, m.from}];
+  m.ack = reverse.cum;
+  reverse.ack_owed = false;
+  m.retransmit = false;
+  sender.unacked.emplace(
+      m.seq, Unacked{m, now + config_.retransmit_timeout, /*backoff=*/1});
+}
+
+ReliableTransport::Disposition ReliableTransport::OnWireDelivery(
+    const Message& m, uint64_t now) {
+  // The ack concerns messages the receiver (m.to) previously sent to m.from.
+  if (m.ack > 0) {
+    auto it = senders_.find(ChannelKey{m.to, m.from});
+    if (it != senders_.end()) {
+      std::map<uint64_t, Unacked>& unacked = it->second.unacked;
+      unacked.erase(unacked.begin(), unacked.upper_bound(m.ack));
+    }
+  }
+  if (m.kind == MessageKind::kTransportAck) return Disposition::kControl;
+  DQSQ_CHECK_GT(m.seq, 0u) << "unsequenced message on a reliable channel";
+
+  ReceiverState& receiver = receivers_[ChannelKey{m.from, m.to}];
+  if (receiver.Saw(m.seq)) {
+    // Spurious (our ack was lost or is in flight): owe a fresh ack so the
+    // sender's retransmit loop terminates.
+    if (!receiver.ack_owed) {
+      receiver.ack_owed = true;
+      receiver.owed_since = now;
+    }
+    return Disposition::kDuplicate;
+  }
+  if (m.seq == receiver.cum + 1) {
+    ++receiver.cum;
+    while (receiver.out_of_order.erase(receiver.cum + 1) > 0) ++receiver.cum;
+  } else {
+    receiver.out_of_order.insert(m.seq);
+  }
+  if (!receiver.ack_owed) {
+    receiver.ack_owed = true;
+    receiver.owed_since = now;
+  }
+  return Disposition::kDeliverFirst;
+}
+
+std::vector<Message> ReliableTransport::PollWire(uint64_t now) {
+  std::vector<Message> out;
+  for (auto& [channel, sender] : senders_) {
+    for (auto& [seq, entry] : sender.unacked) {
+      if (entry.due > now) continue;
+      entry.backoff = std::min(entry.backoff * 2, config_.max_backoff);
+      entry.due = now + config_.retransmit_timeout * entry.backoff;
+      Message copy = entry.copy;
+      copy.retransmit = true;
+      // Refresh the piggybacked ack: the reverse channel may have advanced
+      // since the original send.
+      copy.ack = receivers_[ChannelKey{channel.second, channel.first}].cum;
+      out.push_back(std::move(copy));
+    }
+  }
+  for (auto& [channel, receiver] : receivers_) {
+    if (!receiver.ack_owed || now < receiver.owed_since + config_.ack_delay) {
+      continue;
+    }
+    receiver.ack_owed = false;
+    Message ack;
+    ack.kind = MessageKind::kTransportAck;
+    ack.from = channel.second;  // receiver end of the data channel
+    ack.to = channel.first;
+    ack.ack = receiver.cum;
+    out.push_back(std::move(ack));
+  }
+  return out;
+}
+
+std::optional<uint64_t> ReliableTransport::NextDue() const {
+  std::optional<uint64_t> due;
+  auto consider = [&due](uint64_t t) {
+    if (!due.has_value() || t < *due) due = t;
+  };
+  for (const auto& [channel, sender] : senders_) {
+    for (const auto& [seq, entry] : sender.unacked) consider(entry.due);
+  }
+  for (const auto& [channel, receiver] : receivers_) {
+    if (receiver.ack_owed) consider(receiver.owed_since + config_.ack_delay);
+  }
+  return due;
+}
+
+bool ReliableTransport::Seen(const ChannelKey& channel, uint64_t seq) const {
+  auto it = receivers_.find(channel);
+  return it != receivers_.end() && it->second.Saw(seq);
+}
+
+bool ReliableTransport::HasUnacked() const {
+  for (const auto& [channel, sender] : senders_) {
+    if (!sender.unacked.empty()) return true;
+  }
+  return false;
+}
+
+bool ReliableTransport::AllPayloadDelivered() const {
+  for (const auto& [channel, sender] : senders_) {
+    for (const auto& [seq, entry] : sender.unacked) {
+      if (!Seen(channel, seq)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dqsq::dist

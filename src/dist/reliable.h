@@ -1,0 +1,117 @@
+// Reliable-delivery shim between dDatalog peers and the raw simulated
+// network. The raw wire may drop, duplicate or delay-reorder messages (a
+// FaultPlan, see dist/network.h); this layer restores the exactly-once,
+// per-channel-FIFO-modulo-reordering delivery the distributed fixpoint
+// (§3.1) and Dijkstra–Scholten termination detection assume:
+//
+//  * every outgoing message is stamped with a 1-based per-(from,to)-channel
+//    sequence number and recorded in a sender-side retransmit queue;
+//  * the receiver deduplicates — only the FIRST delivery of a sequence
+//    number is handed to the peer, so Dijkstra–Scholten acks exactly the
+//    messages that were logically sent;
+//  * unacknowledged entries are retransmitted after a virtual-time timeout
+//    with exponential backoff;
+//  * acknowledgments are cumulative and piggybacked on reverse-channel
+//    traffic; a channel with no reverse traffic flushes a standalone
+//    kTransportAck after a short delay.
+//
+// The transport is a single object owned by SimNetwork (the simulator sees
+// both endpoints), but the protocol state is strictly per directed channel,
+// exactly as a per-process implementation would keep it.
+#ifndef DQSQ_DIST_RELIABLE_H_
+#define DQSQ_DIST_RELIABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "dist/message.h"
+
+namespace dqsq::dist {
+
+struct ReliableConfig {
+  // Virtual-time steps (network deliveries) before the first retransmit of
+  // an unacknowledged message.
+  uint64_t retransmit_timeout = 16;
+  // Backoff doubles per retransmit of the same entry, capped at
+  // retransmit_timeout * max_backoff.
+  uint64_t max_backoff = 16;
+  // An owed acknowledgment is flushed as a standalone kTransportAck after
+  // this many steps without reverse traffic to piggyback on.
+  uint64_t ack_delay = 4;
+};
+
+class ReliableTransport {
+ public:
+  using ChannelKey = std::pair<SymbolId, SymbolId>;  // (from, to)
+
+  enum class Disposition {
+    kDeliverFirst,  // first delivery: hand the message to the peer
+    kDuplicate,     // already delivered: suppress (spurious retransmit)
+    kControl,       // transport-internal (kTransportAck): consume silently
+  };
+
+  explicit ReliableTransport(ReliableConfig config = {}) : config_(config) {}
+
+  /// Sender side: stamps `m` with the next sequence number of its channel,
+  /// piggybacks the cumulative ack owed on the reverse channel, and records
+  /// a retransmit entry due at `now + retransmit_timeout`.
+  void StampOutgoing(Message& m, uint64_t now);
+
+  /// Receiver side: applies the (piggybacked or standalone) ack, then
+  /// deduplicates. Call for every wire delivery before dispatching.
+  Disposition OnWireDelivery(const Message& m, uint64_t now);
+
+  /// Wire traffic the transport owes at `now`: copies of unacknowledged
+  /// messages whose timeout expired (`retransmit == true`) and standalone
+  /// kTransportAcks for channels whose owed ack outlived `ack_delay`.
+  /// The caller puts them on the wire (where faults may hit them again).
+  std::vector<Message> PollWire(uint64_t now);
+
+  /// Earliest virtual time at which PollWire() will produce traffic, or
+  /// nullopt when no retransmit or ack is pending.
+  std::optional<uint64_t> NextDue() const;
+
+  /// True iff the receiver of `channel` has already seen `seq`.
+  bool Seen(const ChannelKey& channel, uint64_t seq) const;
+
+  /// True iff some sent message was never acknowledged (its wire copy may
+  /// be lost and a retransmit pending).
+  bool HasUnacked() const;
+
+  /// True iff every unacknowledged entry has in fact been delivered (only
+  /// its ack is outstanding) — no payload is missing anywhere.
+  bool AllPayloadDelivered() const;
+
+ private:
+  struct Unacked {
+    Message copy;
+    uint64_t due;      // next retransmit time
+    uint64_t backoff;  // current multiplier on retransmit_timeout
+  };
+  struct SenderState {
+    uint64_t next_seq = 0;
+    std::map<uint64_t, Unacked> unacked;  // seq -> entry
+  };
+  struct ReceiverState {
+    uint64_t cum = 0;                  // all seqs <= cum received
+    std::set<uint64_t> out_of_order;   // received seqs > cum
+    bool ack_owed = false;
+    uint64_t owed_since = 0;
+
+    bool Saw(uint64_t seq) const {
+      return seq <= cum || out_of_order.contains(seq);
+    }
+  };
+
+  ReliableConfig config_;
+  std::map<ChannelKey, SenderState> senders_;
+  std::map<ChannelKey, ReceiverState> receivers_;
+};
+
+}  // namespace dqsq::dist
+
+#endif  // DQSQ_DIST_RELIABLE_H_

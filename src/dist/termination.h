@@ -35,6 +35,14 @@ inline constexpr NodeId kNoNode = 0xffffffffu;
 /// One participant's Dijkstra–Scholten state machine. The host delivers
 /// events (basic message received, ack received, work finished) and the
 /// tracker says which control actions to take.
+///
+/// The protocol assumes an exactly-once transport: a node acks every
+/// delivered basic message, so a duplicated delivery produces a second ack
+/// and underflows the sender's deficit (aborting via DQSQ_CHECK), and a
+/// dropped one strands the sender's deficit above zero forever. On a
+/// faulty wire the reliable-delivery shim (dist/reliable.h) restores this
+/// guarantee by deduplicating before the DsNode sees the message — acks
+/// are counted against first deliveries only.
 class DsNode {
  public:
   explicit DsNode(bool is_root) : engaged_(is_root) {}

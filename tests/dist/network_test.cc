@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+
 namespace dqsq::dist {
 namespace {
 
@@ -100,6 +103,152 @@ TEST(SimNetworkTest, QuiescenceAndStats) {
   // 1 initial + 6 forwards = 7 deliveries; each carries 2 tuples.
   EXPECT_EQ(net.stats().messages_delivered, 7u);
   EXPECT_EQ(net.stats().tuples_shipped, 14u);
+}
+
+TEST(SimNetworkTest, RunToQuiescenceSucceedsWithExactBudget) {
+  // Regression: the budget used to be reported as exhausted even when the
+  // max_steps-th delivery was the one that reached quiescence.
+  SimNetwork net(1);
+  EchoPeer a(1, 2, 0), b(2, 1, 0);
+  net.Register(1, &a);
+  net.Register(2, &b);
+  const size_t kMessages = 10;
+  for (uint32_t i = 0; i < kMessages; ++i) {
+    Message m;
+    m.kind = MessageKind::kTuples;
+    m.from = 1;
+    m.to = 2;
+    m.rel = RelId{i, 0};
+    net.Send(std::move(m));
+  }
+  EXPECT_TRUE(net.RunToQuiescence(/*max_steps=*/kMessages).ok());
+  EXPECT_TRUE(net.Quiescent());
+  EXPECT_EQ(b.received.size(), kMessages);
+}
+
+TEST(SimNetworkDeathTest, SendFromUnregisteredPeerDies) {
+  // An unregistered sender would corrupt Dijkstra-Scholten ack routing:
+  // the receiver acks message.from, and that ack must be deliverable.
+  SimNetwork net(1);
+  EchoPeer b(2, 2, 0);
+  net.Register(2, &b);
+  Message m;
+  m.kind = MessageKind::kTuples;
+  m.from = 1;  // never registered
+  m.to = 2;
+  EXPECT_DEATH(net.Send(std::move(m)), "unregistered");
+}
+
+TEST(SimNetworkTest, ManyChannelsDeliverEverything) {
+  // Exercises the incremental non-empty index across channel churn: a
+  // dense peer set where every pair exchanges messages in both directions.
+  SimNetwork net(5);
+  const uint32_t kPeers = 12;
+  std::vector<std::unique_ptr<EchoPeer>> peers;
+  for (uint32_t p = 0; p < kPeers; ++p) {
+    peers.push_back(std::make_unique<EchoPeer>(p, p, 0));
+    net.Register(p, peers.back().get());
+  }
+  size_t sent = 0;
+  for (uint32_t from = 0; from < kPeers; ++from) {
+    for (uint32_t to = 0; to < kPeers; ++to) {
+      if (from == to) continue;
+      for (uint32_t i = 0; i < 3; ++i) {
+        Message m;
+        m.kind = MessageKind::kTuples;
+        m.from = from;
+        m.to = to;
+        m.rel = RelId{i, 0};
+        net.Send(std::move(m));
+        ++sent;
+      }
+    }
+  }
+  ASSERT_TRUE(net.RunToQuiescence().ok());
+  EXPECT_EQ(net.stats().messages_delivered, sent);
+  size_t received = 0;
+  for (const auto& peer : peers) received += peer->received.size();
+  EXPECT_EQ(received, sent);
+}
+
+TEST(SimNetworkFaultTest, DropsAreRepairedByRetransmission) {
+  FaultPlan plan;
+  plan.drop = 0.3;
+  SimNetwork net(7, plan);
+  ASSERT_TRUE(net.reliable());
+  EchoPeer a(1, 2, 0), b(2, 1, 0);
+  net.Register(1, &a);
+  net.Register(2, &b);
+  const uint32_t kMessages = 50;
+  for (uint32_t i = 0; i < kMessages; ++i) {
+    Message m;
+    m.kind = MessageKind::kTuples;
+    m.from = 1;
+    m.to = 2;
+    m.rel = RelId{i, 0};
+    net.Send(std::move(m));
+  }
+  ASSERT_TRUE(net.RunToQuiescence().ok());
+  // Exactly-once delivery to the peer despite wire losses.
+  ASSERT_EQ(b.received.size(), kMessages);
+  std::set<uint32_t> preds;
+  for (const Message& m : b.received) preds.insert(m.rel.pred);
+  EXPECT_EQ(preds.size(), kMessages);
+  EXPECT_GT(net.stats().dropped, 0u);
+  EXPECT_GT(net.stats().retransmits, 0u);
+  EXPECT_TRUE(net.LogicallyQuiescent());
+}
+
+TEST(SimNetworkFaultTest, DuplicatesAreSuppressedBeforeThePeer) {
+  FaultPlan plan;
+  plan.duplicate = 0.5;
+  SimNetwork net(11, plan);
+  EchoPeer a(1, 2, 0), b(2, 1, 0);
+  net.Register(1, &a);
+  net.Register(2, &b);
+  const uint32_t kMessages = 40;
+  for (uint32_t i = 0; i < kMessages; ++i) {
+    Message m;
+    m.kind = MessageKind::kTuples;
+    m.from = 1;
+    m.to = 2;
+    m.rel = RelId{i, 0};
+    net.Send(std::move(m));
+  }
+  ASSERT_TRUE(net.RunToQuiescence().ok());
+  EXPECT_EQ(b.received.size(), kMessages);  // no duplicate reached the peer
+  EXPECT_GT(net.stats().duplicated, 0u);
+  EXPECT_GT(net.stats().spurious, 0u);
+}
+
+TEST(SimNetworkFaultTest, DelayReorderingStillDeliversEverythingOnce) {
+  FaultPlan plan;
+  plan.delay = 0.5;
+  plan.max_delay_steps = 16;
+  SimNetwork net(13, plan);
+  EchoPeer a(1, 2, 0), b(2, 1, 0);
+  net.Register(1, &a);
+  net.Register(2, &b);
+  const uint32_t kMessages = 40;
+  for (uint32_t i = 0; i < kMessages; ++i) {
+    Message m;
+    m.kind = MessageKind::kTuples;
+    m.from = 1;
+    m.to = 2;
+    m.rel = RelId{i, 0};
+    net.Send(std::move(m));
+  }
+  ASSERT_TRUE(net.RunToQuiescence().ok());
+  ASSERT_EQ(b.received.size(), kMessages);
+  std::set<uint32_t> preds;
+  bool reordered = false;
+  for (size_t i = 0; i < b.received.size(); ++i) {
+    preds.insert(b.received[i].rel.pred);
+    if (b.received[i].rel.pred != i) reordered = true;
+  }
+  EXPECT_EQ(preds.size(), kMessages);
+  EXPECT_TRUE(reordered);  // the fault actually broke FIFO order
+  EXPECT_GT(net.stats().delayed, 0u);
 }
 
 TEST(SimNetworkTest, StepBudgetEnforced) {

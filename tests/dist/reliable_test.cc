@@ -1,0 +1,275 @@
+#include "dist/reliable.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/dnaive.h"
+#include "dist/dqsq.h"
+#include "dist/network.h"
+#include "tests/test_util.h"
+
+namespace dqsq::dist {
+namespace {
+
+using ::dqsq::testing::AnswerStrings;
+
+Message Basic(SymbolId from, SymbolId to) {
+  Message m;
+  m.kind = MessageKind::kTuples;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+TEST(ReliableTransportTest, StampsPerChannelSequenceNumbers) {
+  ReliableTransport transport;
+  Message a1 = Basic(1, 2), a2 = Basic(1, 2), b1 = Basic(2, 1);
+  transport.StampOutgoing(a1, 0);
+  transport.StampOutgoing(a2, 0);
+  transport.StampOutgoing(b1, 0);
+  EXPECT_EQ(a1.seq, 1u);
+  EXPECT_EQ(a2.seq, 2u);   // same channel: consecutive
+  EXPECT_EQ(b1.seq, 1u);   // reverse channel: independent numbering
+  EXPECT_TRUE(transport.HasUnacked());
+}
+
+TEST(ReliableTransportTest, DedupSuppressesSecondDelivery) {
+  ReliableTransport transport;
+  Message m = Basic(1, 2);
+  transport.StampOutgoing(m, 0);
+  EXPECT_EQ(transport.OnWireDelivery(m, 1),
+            ReliableTransport::Disposition::kDeliverFirst);
+  EXPECT_EQ(transport.OnWireDelivery(m, 2),
+            ReliableTransport::Disposition::kDuplicate);
+  EXPECT_TRUE(transport.Seen({1, 2}, 1));
+}
+
+TEST(ReliableTransportTest, OutOfOrderDeliveryDedupsAndCatchesUp) {
+  ReliableTransport transport;
+  Message m1 = Basic(1, 2), m2 = Basic(1, 2), m3 = Basic(1, 2);
+  transport.StampOutgoing(m1, 0);
+  transport.StampOutgoing(m2, 0);
+  transport.StampOutgoing(m3, 0);
+  // Delay-reordered wire: 3 arrives first, then 1, then 3 again, then 2.
+  EXPECT_EQ(transport.OnWireDelivery(m3, 1),
+            ReliableTransport::Disposition::kDeliverFirst);
+  EXPECT_EQ(transport.OnWireDelivery(m1, 2),
+            ReliableTransport::Disposition::kDeliverFirst);
+  EXPECT_EQ(transport.OnWireDelivery(m3, 3),
+            ReliableTransport::Disposition::kDuplicate);
+  EXPECT_EQ(transport.OnWireDelivery(m2, 4),
+            ReliableTransport::Disposition::kDeliverFirst);
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    EXPECT_TRUE(transport.Seen({1, 2}, seq)) << seq;
+  }
+  EXPECT_TRUE(transport.AllPayloadDelivered());
+}
+
+TEST(ReliableTransportTest, RetransmitsAfterTimeoutWithBackoff) {
+  ReliableConfig config;
+  config.retransmit_timeout = 10;
+  config.max_backoff = 4;
+  ReliableTransport transport(config);
+  Message m = Basic(1, 2);
+  transport.StampOutgoing(m, 0);  // due at 10
+  EXPECT_TRUE(transport.PollWire(9).empty());
+  ASSERT_EQ(transport.NextDue(), std::optional<uint64_t>(10));
+  auto first = transport.PollWire(10);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(first[0].retransmit);
+  EXPECT_EQ(first[0].seq, m.seq);
+  // Backoff doubled: next due is 10 + 2*10.
+  EXPECT_EQ(transport.NextDue(), std::optional<uint64_t>(30));
+  EXPECT_TRUE(transport.PollWire(29).empty());
+  EXPECT_EQ(transport.PollWire(30).size(), 1u);
+}
+
+TEST(ReliableTransportTest, PiggybackedAckClearsRetransmitQueue) {
+  ReliableTransport transport;
+  Message data = Basic(1, 2);
+  transport.StampOutgoing(data, 0);
+  EXPECT_EQ(transport.OnWireDelivery(data, 1),
+            ReliableTransport::Disposition::kDeliverFirst);
+  // Reverse traffic from 2 to 1 carries the cumulative ack for (1,2).
+  Message reply = Basic(2, 1);
+  transport.StampOutgoing(reply, 2);
+  EXPECT_EQ(reply.ack, 1u);
+  EXPECT_EQ(transport.OnWireDelivery(reply, 3),
+            ReliableTransport::Disposition::kDeliverFirst);
+  // 1's retransmit entry for seq 1 is gone; only 2's reply is unacked
+  // (plus the standalone ack 1 owes for it).
+  auto due = transport.PollWire(1'000'000);
+  size_t retransmits = 0;
+  for (const Message& m : due) {
+    if (m.retransmit) {
+      ++retransmits;
+      EXPECT_EQ(m.from, 2u);  // the reply, not the original data message
+    } else {
+      EXPECT_EQ(m.kind, MessageKind::kTransportAck);
+    }
+  }
+  EXPECT_EQ(retransmits, 1u);
+}
+
+TEST(ReliableTransportTest, StandaloneAckFlushesAfterDelayOnSilence) {
+  ReliableConfig config;
+  config.ack_delay = 4;
+  // Push retransmits far out so only the ack is due.
+  config.retransmit_timeout = 1000;
+  ReliableTransport transport(config);
+  Message m = Basic(1, 2);
+  transport.StampOutgoing(m, 0);
+  EXPECT_EQ(transport.OnWireDelivery(m, 5),
+            ReliableTransport::Disposition::kDeliverFirst);
+  EXPECT_TRUE(transport.PollWire(8).empty());  // owed since 5, due at 9
+  auto acks = transport.PollWire(9);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].kind, MessageKind::kTransportAck);
+  EXPECT_EQ(acks[0].from, 2u);
+  EXPECT_EQ(acks[0].to, 1u);
+  EXPECT_EQ(acks[0].ack, 1u);
+  // Delivering the ack empties the sender's queue.
+  EXPECT_EQ(transport.OnWireDelivery(acks[0], 10),
+            ReliableTransport::Disposition::kControl);
+  EXPECT_FALSE(transport.HasUnacked());
+  EXPECT_FALSE(transport.NextDue().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end property: under every fault plan, both distributed engines
+// return the lossless answers and termination detection stays sound.
+// ---------------------------------------------------------------------------
+
+// The paper's Figure 3 distributed program (three peers, mutual recursion
+// across all of them).
+const char* kFigure3 = R"(
+  r@r(X, Y) :- a@r(X, Y).
+  r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+  s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+  t@t(X, Y) :- c@t(X, Y).
+  a@r("1", "2").
+  a@r("2", "3").
+  a@r("7", "8").
+  b@s("2", "5").
+  b@s("3", "6").
+  c@t("2", "4").
+  c@t("3", "9").
+)";
+
+struct PlanCase {
+  const char* name;
+  FaultPlan plan;
+};
+
+std::vector<PlanCase> FaultMatrix() {
+  std::vector<PlanCase> cases;
+  cases.push_back({"lossless", FaultPlan{}});
+  FaultPlan drop;
+  drop.drop = 0.1;
+  cases.push_back({"drop=0.1", drop});
+  FaultPlan dup;
+  dup.duplicate = 0.1;
+  cases.push_back({"dup=0.1", dup});
+  FaultPlan delay;
+  delay.delay = 0.3;
+  delay.max_delay_steps = 12;
+  cases.push_back({"delay=0.3", delay});
+  FaultPlan all;
+  all.drop = 0.1;
+  all.duplicate = 0.1;
+  all.delay = 0.2;
+  cases.push_back({"all-three", all});
+  return cases;
+}
+
+struct RunOutcome {
+  std::vector<std::string> answers;  // rendered while the context is alive
+  NetworkStats stats;
+  bool quiescent_at_detection = false;
+};
+
+StatusOr<RunOutcome> Solve(bool qsq, uint64_t seed, const FaultPlan& plan) {
+  DatalogContext ctx;
+  auto program = ParseProgram(kFigure3, ctx);
+  DQSQ_CHECK_OK(program.status());
+  auto query = ParseQuery("r@r(\"1\", Y)", ctx);
+  DQSQ_CHECK_OK(query.status());
+  DistOptions opts;
+  opts.seed = seed;
+  opts.faults = plan;
+  DQSQ_ASSIGN_OR_RETURN(DistResult result,
+                        qsq ? DistQsqSolve(ctx, *program, *query, opts)
+                            : DistNaiveSolve(ctx, *program, *query, opts));
+  RunOutcome outcome;
+  outcome.answers = AnswerStrings(result.answers, ctx);
+  outcome.stats = result.net_stats;
+  outcome.quiescent_at_detection = result.quiescent_at_detection;
+  return outcome;
+}
+
+TEST(FaultInjectionPropertyTest, AnswersMatchLosslessAcrossSeedsAndPlans) {
+  for (bool qsq : {false, true}) {
+    auto lossless = Solve(qsq, /*seed=*/1, FaultPlan{});
+    ASSERT_TRUE(lossless.ok()) << lossless.status().ToString();
+    const auto expected = lossless->answers;
+    ASSERT_FALSE(expected.empty());
+    for (const PlanCase& c : FaultMatrix()) {
+      for (uint64_t seed = 1; seed <= 20; ++seed) {
+        auto result = Solve(qsq, seed, c.plan);
+        ASSERT_TRUE(result.ok())
+            << (qsq ? "dqsq" : "dnaive") << " plan=" << c.name << " seed="
+            << seed << ": " << result.status().ToString();
+        EXPECT_EQ(result->answers, expected)
+            << (qsq ? "dqsq" : "dnaive") << " plan=" << c.name
+            << " seed=" << seed;
+        EXPECT_TRUE(result->quiescent_at_detection)
+            << c.name << " seed=" << seed;
+        if (!c.plan.active()) {
+          EXPECT_EQ(result->stats.dropped, 0u);
+          EXPECT_EQ(result->stats.retransmits, 0u);
+          EXPECT_EQ(result->stats.spurious, 0u);
+          EXPECT_EQ(result->stats.transport_acks, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST(FaultInjectionPropertyTest, LossyRunsActuallyExerciseTheShim) {
+  // Aggregated over seeds, each fault leg fires and the shim repairs it.
+  NetworkStats agg;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FaultPlan all;
+    all.drop = 0.1;
+    all.duplicate = 0.1;
+    all.delay = 0.2;
+    auto result = Solve(/*qsq=*/true, seed, all);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    agg.dropped += result->stats.dropped;
+    agg.duplicated += result->stats.duplicated;
+    agg.delayed += result->stats.delayed;
+    agg.retransmits += result->stats.retransmits;
+    agg.spurious += result->stats.spurious;
+  }
+  EXPECT_GT(agg.dropped, 0u);
+  EXPECT_GT(agg.duplicated, 0u);
+  EXPECT_GT(agg.delayed, 0u);
+  EXPECT_GT(agg.retransmits, 0u);  // every drop must be repaired
+  EXPECT_GT(agg.spurious, 0u);     // duplicates must be suppressed
+}
+
+TEST(FaultInjectionPropertyTest, LosslessPlanLeavesTrafficByteIdentical) {
+  // Zero-overhead default: an all-zero plan must not change message or
+  // tuple counts relative to a network built without any plan at all.
+  auto base = Solve(/*qsq=*/true, /*seed=*/3, FaultPlan{});
+  ASSERT_TRUE(base.ok());
+  FaultPlan zero;
+  zero.max_delay_steps = 32;  // inert while probabilities are 0
+  auto zeroed = Solve(/*qsq=*/true, /*seed=*/3, zero);
+  ASSERT_TRUE(zeroed.ok());
+  EXPECT_EQ(base->stats.messages_delivered, zeroed->stats.messages_delivered);
+  EXPECT_EQ(base->stats.tuples_shipped, zeroed->stats.tuples_shipped);
+  EXPECT_EQ(base->stats.control_messages, zeroed->stats.control_messages);
+}
+
+}  // namespace
+}  // namespace dqsq::dist

@@ -22,6 +22,36 @@ TEST(DsNodeTest, EngagementLifecycle) {
   EXPECT_FALSE(node.engaged());
 }
 
+TEST(DsNodeTest, DuplicateBasicDeliveryBreaksDeficitAccounting) {
+  // Why the reliable shim must deduplicate BEFORE the DsNode sees a
+  // message: an engaged node acks every delivered basic message, so a
+  // transport-level duplicate produces a second ack for a single send and
+  // the sender's deficit underflows. Acks must count first deliveries only.
+  DsNode sender(/*is_root=*/true);
+  DsNode receiver(/*is_root=*/false);
+  sender.OnSendBasic();  // one logical message, deficit 1
+  EXPECT_FALSE(receiver.OnReceiveBasic(1));  // first delivery: engages
+  ASSERT_TRUE(receiver.TryDisengage());      // deferred ack released
+  sender.OnReceiveAck();
+  EXPECT_EQ(sender.deficit(), 0u);
+  // The wire duplicates the same basic message. A fresh (disengaged)
+  // receiver re-engages; an engaged one would ack immediately — either way
+  // a second ack is produced for a message that was sent once.
+  EXPECT_FALSE(receiver.OnReceiveBasic(1));
+  ASSERT_TRUE(receiver.TryDisengage());
+  EXPECT_DEATH(sender.OnReceiveAck(), "deficit_");
+}
+
+TEST(DsNodeTest, EngagedNodeAcksDuplicateImmediately) {
+  // The other duplicate interleaving: the receiver is still engaged when
+  // the copy arrives, so OnReceiveBasic requests an immediate ack — again
+  // one ack too many unless the transport dedups first.
+  DsNode receiver(/*is_root=*/false);
+  EXPECT_FALSE(receiver.OnReceiveBasic(4));  // original engages
+  EXPECT_TRUE(receiver.OnReceiveBasic(4));   // duplicate: immediate ack
+  EXPECT_EQ(receiver.parent(), 4u);
+}
+
 TEST(DsNodeTest, RootStartsEngaged) {
   DsNode root(/*is_root=*/true);
   EXPECT_TRUE(root.engaged());
