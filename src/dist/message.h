@@ -14,6 +14,16 @@
 
 namespace dqsq::dist {
 
+/// One selective-acknowledgment block: the inclusive sequence range
+/// [first, last] of the reverse channel has been received out of order
+/// (beyond the cumulative ack). Bounded per message by
+/// ReliableConfig::max_sack_blocks.
+struct SackBlock {
+  uint64_t first = 0;
+  uint64_t last = 0;
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
 enum class MessageKind {
   kTuples,        // data for `rel` (owned by the receiver or a replica there)
   kActivate,      // activate `rel`; stream its tuples to `subscriber`
@@ -40,6 +50,8 @@ struct Message {
   uint64_t ack = 0;          // piggybacked cumulative ack: every message of
                              // the reverse (to,from) channel with seq <= ack
                              // has been received (0 = nothing acked yet)
+  std::vector<SackBlock> sack;  // selective acks: reverse-channel ranges
+                                // received beyond `ack` (bounded list)
   bool retransmit = false;   // wire copy resent after a timeout
 };
 

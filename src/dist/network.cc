@@ -27,14 +27,20 @@ const char* KindName(MessageKind kind) {
 }
 
 // Approximate wire size: a fixed header plus payload terms at four bytes
-// each and rules at sixteen bytes per atom. The network is simulated, so
-// this is a modeling convention (documented in docs/METRICS.md), not a
-// codec.
+// each and rules at sixteen bytes per atom. Messages stamped by the
+// reliable shim additionally pay a transport envelope — seq + cumulative
+// ack (8 bytes each) plus flags/SACK count (4), and 16 bytes per SACK
+// block (two 8-byte bounds) — so lossy runs price the traffic the
+// transport itself adds. The network is simulated, so this is a modeling
+// convention (documented in docs/METRICS.md), not a codec.
 size_t ApproxWireBytes(const Message& m) {
   size_t bytes = 16;
   for (const Tuple& t : m.tuples) bytes += 4 * t.size();
   bytes += (m.adornment.size() + 7) / 8;
   for (const Rule& r : m.rules) bytes += 16 * (1 + r.body.size());
+  if (m.seq > 0 || m.kind == MessageKind::kTransportAck) {
+    bytes += 20 + 16 * m.sack.size();
+  }
   return bytes;
 }
 
@@ -57,7 +63,12 @@ void SimNetwork::Send(Message message) {
       << "send to unregistered peer " << message.to;
   DQSQ_CHECK(peers_.contains(message.from))
       << "send from unregistered peer " << message.from;
-  if (transport_ != nullptr) transport_->StampOutgoing(message, now_);
+  if (transport_ != nullptr && !transport_->StampOutgoing(message, now_)) {
+    // Window full: the transport queued the message sender-side; PollWire
+    // emits it once acks open the window.
+    SyncTransportStats();
+    return;
+  }
   EnqueueWire(std::move(message));
 }
 
@@ -113,15 +124,18 @@ void SimNetwork::ReleaseDelayed() {
 
 void SimNetwork::PumpTransport() {
   for (Message& m : transport_->PollWire(now_)) {
-    if (m.retransmit) {
-      ++stats_.retransmits;
-      CountMetric("dist.net.retransmits", 1, {}, "messages");
-    } else {
+    if (m.kind == MessageKind::kTransportAck) {
       ++stats_.transport_acks;
       CountMetric("dist.net.transport_acks", 1, {}, "messages");
+    } else if (m.retransmit) {
+      ++stats_.retransmits;
+      CountMetric("dist.net.retransmits", 1, {}, "messages");
     }
+    // else: a window-stalled original send draining as the window opened;
+    // counted via dist.net.window_drained in SyncTransportStats.
     EnqueueWire(std::move(m));
   }
+  SyncTransportStats();
 }
 
 StatusOr<bool> SimNetwork::Step() {
@@ -158,19 +172,13 @@ StatusOr<bool> SimNetwork::Step() {
   channel->pop_front();
   if (channel->empty()) nonempty_.erase(nonempty_.begin() + pick);
 
-  ++stats_.messages_delivered;
-  if (message.kind == MessageKind::kTuples) {
-    stats_.tuples_shipped += message.tuples.size();
-  } else {
-    ++stats_.control_messages;
-    if (message.kind == MessageKind::kInstall) {
-      stats_.rules_shipped += message.rules.size();
-    }
-  }
-  RecordDelivery(message, key);
+  RecordWireDelivery(message, key);
 
   if (transport_ != nullptr) {
-    switch (transport_->OnWireDelivery(message, now_)) {
+    ReliableTransport::Disposition disposition =
+        transport_->OnWireDelivery(message, now_);
+    SyncTransportStats();
+    switch (disposition) {
       case ReliableTransport::Disposition::kControl:
         return true;
       case ReliableTransport::Disposition::kDuplicate:
@@ -182,6 +190,18 @@ StatusOr<bool> SimNetwork::Step() {
     }
   }
 
+  // Logical (first-delivery) accounting: only messages a peer consumes.
+  ++stats_.messages_delivered;
+  if (message.kind == MessageKind::kTuples) {
+    stats_.tuples_shipped += message.tuples.size();
+  } else {
+    ++stats_.control_messages;
+    if (message.kind == MessageKind::kInstall) {
+      stats_.rules_shipped += message.rules.size();
+    }
+  }
+  RecordDelivery(message);
+
   PeerNode* peer = peers_.at(message.to);
   DQSQ_RETURN_IF_ERROR(peer->OnMessage(message, *this));
   return true;
@@ -192,8 +212,32 @@ std::string SimNetwork::PeerLabel(SymbolId id) const {
   return "peer" + std::to_string(id);
 }
 
-void SimNetwork::RecordDelivery(const Message& message,
-                                const ChannelKey& channel_key) {
+void SimNetwork::RecordWireDelivery(const Message& message,
+                                    const ChannelKey& channel_key) {
+  const size_t bytes = ApproxWireBytes(message);
+  ++stats_.wire_messages;
+  stats_.wire_bytes += bytes;
+  auto& registry = MetricsRegistry::Global();
+  if (transport_ != nullptr) {
+    // The wire-level series only exists when the shim is engaged; on the
+    // shimless lossless default wire == logical and the counters below
+    // would be pure duplication (and would perturb the seed-pinned
+    // lossless snapshot).
+    registry.GetCounter("dist.net.wire_messages", {}, "messages").Increment();
+    registry.GetCounter("dist.net.wire_bytes", {}, "bytes").Increment(bytes);
+  }
+  Counter*& channel = channel_counters_[channel_key];
+  if (channel == nullptr) {
+    channel = &registry.GetCounter(
+        "dist.net.channel_messages",
+        {{"from", PeerLabel(channel_key.first)},
+         {"to", PeerLabel(channel_key.second)}},
+        "messages");
+  }
+  channel->Increment();
+}
+
+void SimNetwork::RecordDelivery(const Message& message) {
   auto& registry = MetricsRegistry::Global();
   registry
       .GetCounter("dist.net.messages_delivered",
@@ -208,15 +252,32 @@ void SimNetwork::RecordDelivery(const Message& message,
     registry.GetCounter("dist.net.rules_shipped", {}, "rules")
         .Increment(message.rules.size());
   }
-  Counter*& channel = channel_counters_[channel_key];
-  if (channel == nullptr) {
-    channel = &registry.GetCounter(
-        "dist.net.channel_messages",
-        {{"from", PeerLabel(channel_key.first)},
-         {"to", PeerLabel(channel_key.second)}},
-        "messages");
+}
+
+void SimNetwork::SyncTransportStats() {
+  const TransportStats& t = transport_->stats();
+  if (t.sacked > stats_.sacked) {
+    CountMetric("dist.net.sacked", t.sacked - stats_.sacked, {}, "messages");
+    stats_.sacked = t.sacked;
   }
-  channel->Increment();
+  if (t.window_stalls > stats_.window_stalls) {
+    CountMetric("dist.net.window_stalls", t.window_stalls -
+                stats_.window_stalls, {}, "messages");
+    stats_.window_stalls = t.window_stalls;
+  }
+  if (t.window_drained > stats_.window_drained) {
+    CountMetric("dist.net.window_drained",
+                t.window_drained - stats_.window_drained, {}, "messages");
+    stats_.window_drained = t.window_drained;
+  }
+  if (t.rtt_samples > stats_.rtt_samples) {
+    CountMetric("dist.net.rto_samples", t.rtt_samples - stats_.rtt_samples,
+                {}, "samples");
+    stats_.rtt_samples = t.rtt_samples;
+    MetricsRegistry::Global()
+        .GetGauge("dist.net.rto_last", {}, "steps")
+        .Set(static_cast<int64_t>(t.last_rto));
+  }
 }
 
 Status SimNetwork::RunToQuiescence(size_t max_steps) {

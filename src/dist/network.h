@@ -45,10 +45,19 @@ struct FaultPlan {
 };
 
 struct NetworkStats {
+  // First-delivery (logical) series: what the peers actually consumed.
+  // Duplicate and retransmit copies the transport deduplicates, and
+  // transport-internal acks, are excluded — on a lossy wire these counters
+  // match the lossless run of the same workload.
   size_t messages_delivered = 0;
   size_t tuples_shipped = 0;     // sum of kTuples payload sizes
   size_t control_messages = 0;   // activate/subquery/install/ack
   size_t rules_shipped = 0;      // total rules in kInstall messages
+  // Wire-level series: every copy the wire delivered, including duplicates,
+  // retransmits and transport acks. Equal to the logical series on a
+  // perfect wire without the shim.
+  size_t wire_messages = 0;
+  size_t wire_bytes = 0;         // ApproxWireBytes over all wire deliveries
   // Fault-injection and reliable-delivery accounting (0 on a perfect wire).
   size_t dropped = 0;            // messages destroyed by the fault plan
   size_t duplicated = 0;         // extra wire copies injected
@@ -56,6 +65,11 @@ struct NetworkStats {
   size_t retransmits = 0;        // timeout-driven resends by the shim
   size_t spurious = 0;           // deliveries suppressed by receiver dedup
   size_t transport_acks = 0;     // standalone kTransportAck messages sent
+  // Mirrored from the shim's TransportStats (dist/reliable.h).
+  size_t sacked = 0;             // retransmit entries erased by SACK blocks
+  size_t window_stalls = 0;      // sends deferred by a full window
+  size_t window_drained = 0;     // deferred sends released by acks
+  size_t rtt_samples = 0;        // Karn-eligible RTT measurements
 };
 
 class SimNetwork {
@@ -72,7 +86,9 @@ class SimNetwork {
 
   /// Enqueues a message on the (from, to) FIFO channel. Both endpoints
   /// must be registered: an unregistered sender would corrupt
-  /// Dijkstra-Scholten ack routing at the receiver.
+  /// Dijkstra-Scholten ack routing at the receiver. With the reliable
+  /// shim engaged, a send that exceeds the channel's flow-control window
+  /// is queued sender-side and reaches the wire once acks open the window.
   void Send(Message message);
 
   /// Delivers one message from a randomly chosen non-empty channel.
@@ -111,7 +127,13 @@ class SimNetwork {
   using ChannelKey = std::pair<SymbolId, SymbolId>;
 
   std::string PeerLabel(SymbolId id) const;
-  void RecordDelivery(const Message& message, const ChannelKey& channel_key);
+  /// Wire-level accounting: every delivered copy, pre-deduplication.
+  void RecordWireDelivery(const Message& message,
+                          const ChannelKey& channel_key);
+  /// First-delivery accounting: only messages handed to a peer.
+  void RecordDelivery(const Message& message);
+  /// Mirrors the shim's TransportStats into stats_ and dist.net.* metrics.
+  void SyncTransportStats();
 
   /// Applies the fault plan and puts `m` on the wire (or drops it).
   void EnqueueWire(Message m);

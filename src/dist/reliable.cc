@@ -6,28 +6,137 @@
 
 namespace dqsq::dist {
 
-void ReliableTransport::StampOutgoing(Message& m, uint64_t now) {
+uint64_t ReliableTransport::Rto(const SenderState& sender) const {
+  if (!config_.adaptive_rto || !sender.has_rtt) {
+    return config_.retransmit_timeout;
+  }
+  uint64_t rto = sender.srtt + std::max<uint64_t>(4 * sender.rttvar, 1);
+  return std::clamp(rto, config_.rto_min, config_.rto_max);
+}
+
+void ReliableTransport::SampleRtt(SenderState& sender, uint64_t rtt) {
+  if (!config_.adaptive_rto) return;
+  ++stats_.rtt_samples;
+  if (!sender.has_rtt) {
+    // RFC 6298 initialization: SRTT = R, RTTVAR = R/2.
+    sender.has_rtt = true;
+    sender.srtt = rtt;
+    sender.rttvar = rtt / 2;
+  } else {
+    // SRTT = 7/8·SRTT + 1/8·R, RTTVAR = 3/4·RTTVAR + 1/4·|SRTT - R|.
+    uint64_t err = sender.srtt > rtt ? sender.srtt - rtt : rtt - sender.srtt;
+    sender.rttvar = (3 * sender.rttvar + err) / 4;
+    sender.srtt = (7 * sender.srtt + rtt) / 8;
+  }
+  stats_.last_rto = Rto(sender);
+}
+
+std::vector<SackBlock> ReliableTransport::EncodeSack(
+    const ReceiverState& receiver) const {
+  std::vector<SackBlock> blocks;
+  if (config_.max_sack_blocks == 0) return blocks;
+  for (uint64_t seq : receiver.out_of_order) {
+    if (!blocks.empty() && seq == blocks.back().last + 1) {
+      blocks.back().last = seq;
+    } else if (blocks.size() < config_.max_sack_blocks) {
+      blocks.push_back({seq, seq});
+    } else {
+      break;  // bounded: the lowest ranges repair the oldest holes first
+    }
+  }
+  return blocks;
+}
+
+void ReliableTransport::AttachAck(const ChannelKey& reverse, Message& m,
+                                  uint64_t now) {
+  ReceiverState& receiver = receivers_[reverse];
+  m.ack = receiver.cum;
+  m.sack = EncodeSack(receiver);
+  // Sending an ack does NOT discharge the debt: the carrier may still be
+  // dropped by the fault plan. Re-arm the standalone-ack timer; the owed
+  // state clears when a delivery confirms an ack at least this high
+  // (OnWireDelivery), so a lost carrier costs one standalone ack instead
+  // of a spurious retransmit round trip.
+  if (receiver.ack_owed) receiver.owed_since = now;
+}
+
+void ReliableTransport::Transmit(const ChannelKey& channel,
+                                 SenderState& sender, Message& m,
+                                 uint64_t now) {
+  AttachAck(ChannelKey{channel.second, channel.first}, m, now);
+  m.retransmit = false;
+  sender.unacked.emplace(
+      m.seq, Unacked{m, now + Rto(sender), /*backoff=*/1, /*sent_at=*/now,
+                     /*transmissions=*/1});
+}
+
+bool ReliableTransport::StampOutgoing(Message& m, uint64_t now) {
   ChannelKey channel{m.from, m.to};
   SenderState& sender = senders_[channel];
   m.seq = ++sender.next_seq;
-  // Piggyback the cumulative ack for the reverse channel; any reverse
-  // traffic carries it, so a standalone ack is only needed on silence.
-  ReceiverState& reverse = receivers_[ChannelKey{m.to, m.from}];
-  m.ack = reverse.cum;
-  reverse.ack_owed = false;
-  m.retransmit = false;
-  sender.unacked.emplace(
-      m.seq, Unacked{m, now + config_.retransmit_timeout, /*backoff=*/1});
+  if ((config_.window > 0 && sender.unacked.size() >= config_.window) ||
+      !sender.pending.empty()) {
+    // Window full — or a stalled backlog exists, which must drain first to
+    // keep the channel's transmission order FIFO: queue sender-side. The
+    // ack and SACK blocks are attached at actual transmission time.
+    ++stats_.window_stalls;
+    m.retransmit = false;
+    sender.pending.push_back(m);
+    return false;
+  }
+  Transmit(channel, sender, m, now);
+  return true;
+}
+
+void ReliableTransport::ApplyAck(SenderState& sender, const Message& m,
+                                 uint64_t now) {
+  auto sample_and_erase = [&](std::map<uint64_t, Unacked>::iterator it) {
+    // Karn's rule: a retransmitted entry's ack is ambiguous (it may
+    // acknowledge any transmission), so only never-retransmitted entries
+    // contribute RTT samples.
+    if (it->second.transmissions == 1) {
+      SampleRtt(sender, now - it->second.sent_at);
+    }
+    return sender.unacked.erase(it);
+  };
+  for (auto it = sender.unacked.begin();
+       it != sender.unacked.end() && it->first <= m.ack;) {
+    it = sample_and_erase(it);
+  }
+  for (const SackBlock& block : m.sack) {
+    for (auto it = sender.unacked.lower_bound(block.first);
+         it != sender.unacked.end() && it->first <= block.last;) {
+      ++stats_.sacked;
+      it = sample_and_erase(it);
+    }
+  }
 }
 
 ReliableTransport::Disposition ReliableTransport::OnWireDelivery(
     const Message& m, uint64_t now) {
   // The ack concerns messages the receiver (m.to) previously sent to m.from.
-  if (m.ack > 0) {
-    auto it = senders_.find(ChannelKey{m.to, m.from});
-    if (it != senders_.end()) {
-      std::map<uint64_t, Unacked>& unacked = it->second.unacked;
-      unacked.erase(unacked.begin(), unacked.upper_bound(m.ack));
+  if (m.ack > 0 || !m.sack.empty()) {
+    ChannelKey data_channel{m.to, m.from};
+    if (auto it = senders_.find(data_channel); it != senders_.end()) {
+      ApplyAck(it->second, m, now);
+    }
+    // This delivery also proves the ack reached its destination: the
+    // receiver end of data_channel stops owing one, provided the delivered
+    // ack covers everything it has received since (cumulative and
+    // out-of-order alike).
+    if (auto it = receivers_.find(data_channel); it != receivers_.end()) {
+      ReceiverState& receiver = it->second;
+      if (receiver.ack_owed && m.ack >= receiver.cum) {
+        bool covered = true;
+        for (uint64_t seq : receiver.out_of_order) {
+          covered = std::any_of(m.sack.begin(), m.sack.end(),
+                                [seq](const SackBlock& b) {
+                                  return b.first <= seq && seq <= b.last;
+                                });
+          if (!covered) break;
+        }
+        if (covered) receiver.ack_owed = false;
+      }
     }
   }
   if (m.kind == MessageKind::kTransportAck) return Disposition::kControl;
@@ -62,25 +171,39 @@ std::vector<Message> ReliableTransport::PollWire(uint64_t now) {
     for (auto& [seq, entry] : sender.unacked) {
       if (entry.due > now) continue;
       entry.backoff = std::min(entry.backoff * 2, config_.max_backoff);
-      entry.due = now + config_.retransmit_timeout * entry.backoff;
+      entry.due = now + Rto(sender) * entry.backoff;
+      ++entry.transmissions;  // Karn: this entry's RTT is now ambiguous
       Message copy = entry.copy;
       copy.retransmit = true;
-      // Refresh the piggybacked ack: the reverse channel may have advanced
-      // since the original send.
-      copy.ack = receivers_[ChannelKey{channel.second, channel.first}].cum;
+      // Refresh the piggybacked ack + SACK blocks: the reverse channel may
+      // have advanced since the original send.
+      AttachAck(ChannelKey{channel.second, channel.first}, copy, now);
       out.push_back(std::move(copy));
+    }
+    // Drain window-stalled sends as acks open the window.
+    while (!sender.pending.empty() &&
+           (config_.window == 0 || sender.unacked.size() < config_.window)) {
+      Message m = std::move(sender.pending.front());
+      sender.pending.pop_front();
+      ++stats_.window_drained;
+      Transmit(channel, sender, m, now);
+      out.push_back(std::move(m));
     }
   }
   for (auto& [channel, receiver] : receivers_) {
     if (!receiver.ack_owed || now < receiver.owed_since + config_.ack_delay) {
       continue;
     }
-    receiver.ack_owed = false;
+    // Re-arm instead of clearing: the debt is discharged only when some
+    // delivery confirms the ack arrived. If this standalone ack is dropped,
+    // another flushes after ack_delay more steps of silence.
+    receiver.owed_since = now;
     Message ack;
     ack.kind = MessageKind::kTransportAck;
     ack.from = channel.second;  // receiver end of the data channel
     ack.to = channel.first;
     ack.ack = receiver.cum;
+    ack.sack = EncodeSack(receiver);
     out.push_back(std::move(ack));
   }
   return out;
@@ -93,6 +216,10 @@ std::optional<uint64_t> ReliableTransport::NextDue() const {
   };
   for (const auto& [channel, sender] : senders_) {
     for (const auto& [seq, entry] : sender.unacked) consider(entry.due);
+    if (!sender.pending.empty() &&
+        (config_.window == 0 || sender.unacked.size() < config_.window)) {
+      consider(0);  // the window is open: the next PollWire drains
+    }
   }
   for (const auto& [channel, receiver] : receivers_) {
     if (receiver.ack_owed) consider(receiver.owed_since + config_.ack_delay);
@@ -107,13 +234,14 @@ bool ReliableTransport::Seen(const ChannelKey& channel, uint64_t seq) const {
 
 bool ReliableTransport::HasUnacked() const {
   for (const auto& [channel, sender] : senders_) {
-    if (!sender.unacked.empty()) return true;
+    if (!sender.unacked.empty() || !sender.pending.empty()) return true;
   }
   return false;
 }
 
 bool ReliableTransport::AllPayloadDelivered() const {
   for (const auto& [channel, sender] : senders_) {
+    if (!sender.pending.empty()) return false;  // never even transmitted
     for (const auto& [seq, entry] : sender.unacked) {
       if (!Seen(channel, seq)) return false;
     }

@@ -6,14 +6,26 @@
 //
 //  * every outgoing message is stamped with a 1-based per-(from,to)-channel
 //    sequence number and recorded in a sender-side retransmit queue;
+//  * a per-channel flow-control window bounds the unacknowledged entries a
+//    sender keeps in flight; excess sends queue sender-side (already
+//    sequenced, preserving FIFO) and drain through PollWire as acks open
+//    the window — bounding transport memory and modeling backpressure;
 //  * the receiver deduplicates — only the FIRST delivery of a sequence
 //    number is handed to the peer, so Dijkstra–Scholten acks exactly the
 //    messages that were logically sent;
-//  * unacknowledged entries are retransmitted after a virtual-time timeout
-//    with exponential backoff;
-//  * acknowledgments are cumulative and piggybacked on reverse-channel
-//    traffic; a channel with no reverse traffic flushes a standalone
-//    kTransportAck after a short delay.
+//  * acknowledgments are cumulative plus a bounded list of selective-ack
+//    (SACK) blocks covering the receiver's out-of-order set; the sender
+//    erases exactly the acked entries, so one lost message retransmits one
+//    message, not every later in-flight one;
+//  * unacknowledged entries are retransmitted after an adaptive
+//    (Jacobson/Karels SRTT/RTTVAR over the virtual clock, Karn's rule for
+//    samples) timeout with exponential backoff;
+//  * acknowledgments are piggybacked on reverse-channel traffic; a channel
+//    with no reverse traffic flushes a standalone kTransportAck after a
+//    short delay. Sending an ack (piggybacked or standalone) only re-arms
+//    that delay — the owed state is cleared when a message carrying the
+//    ack is known to have been DELIVERED, so a dropped carrier costs one
+//    extra standalone ack, never a spurious retransmit round trip.
 //
 // The transport is a single object owned by SimNetwork (the simulator sees
 // both endpoints), but the protocol state is strictly per directed channel,
@@ -22,6 +34,7 @@
 #define DQSQ_DIST_RELIABLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -33,15 +46,39 @@
 namespace dqsq::dist {
 
 struct ReliableConfig {
-  // Virtual-time steps (network deliveries) before the first retransmit of
-  // an unacknowledged message.
+  // Retransmission timeout (virtual-time steps, i.e. network deliveries)
+  // used before the first RTT sample; also the fixed RTO when
+  // adaptive_rto is off.
   uint64_t retransmit_timeout = 16;
-  // Backoff doubles per retransmit of the same entry, capped at
-  // retransmit_timeout * max_backoff.
+  // Backoff doubles per retransmit of the same entry, capped at a
+  // multiplier of max_backoff on the current RTO.
   uint64_t max_backoff = 16;
   // An owed acknowledgment is flushed as a standalone kTransportAck after
-  // this many steps without reverse traffic to piggyback on.
+  // this many steps without (confirmed-delivered) traffic carrying it.
   uint64_t ack_delay = 4;
+  // Flow-control window: maximum unacknowledged entries per channel.
+  // Further sends queue sender-side until acks open the window.
+  // 0 = unbounded (the pre-window behavior).
+  size_t window = 32;
+  // Maximum SACK blocks advertised per ack. 0 disables SACK entirely
+  // (cumulative-only acks, the pre-SACK behavior).
+  size_t max_sack_blocks = 4;
+  // Jacobson/Karels RTO estimation over the virtual clock. When off, the
+  // fixed retransmit_timeout is used.
+  bool adaptive_rto = true;
+  // Clamp on the adaptive RTO before backoff is applied.
+  uint64_t rto_min = 16;
+  uint64_t rto_max = 1024;
+};
+
+/// Transport-internal counters, mirrored into dist.net.* metrics by
+/// SimNetwork (see docs/METRICS.md).
+struct TransportStats {
+  size_t sacked = 0;          // unacked entries erased by SACK blocks
+  size_t window_stalls = 0;   // sends deferred because the window was full
+  size_t window_drained = 0;  // deferred sends released as the window opened
+  size_t rtt_samples = 0;     // RTT measurements taken (Karn-eligible only)
+  uint64_t last_rto = 0;      // most recent adaptive RTO (0 = no sample yet)
 };
 
 class ReliableTransport {
@@ -56,45 +93,60 @@ class ReliableTransport {
 
   explicit ReliableTransport(ReliableConfig config = {}) : config_(config) {}
 
-  /// Sender side: stamps `m` with the next sequence number of its channel,
-  /// piggybacks the cumulative ack owed on the reverse channel, and records
-  /// a retransmit entry due at `now + retransmit_timeout`.
-  void StampOutgoing(Message& m, uint64_t now);
+  /// Sender side: stamps `m` with the next sequence number of its channel
+  /// and either admits it to the window (piggybacking the owed cumulative
+  /// ack + SACK blocks and recording a retransmit entry) or queues it
+  /// sender-side when the window is full. Returns true iff the caller
+  /// should put `m` on the wire now; a queued message is emitted by a
+  /// later PollWire once acks open the window.
+  bool StampOutgoing(Message& m, uint64_t now);
 
-  /// Receiver side: applies the (piggybacked or standalone) ack, then
-  /// deduplicates. Call for every wire delivery before dispatching.
+  /// Receiver side: applies the (piggybacked or standalone) cumulative ack
+  /// and SACK blocks, then deduplicates. Call for every wire delivery
+  /// before dispatching.
   Disposition OnWireDelivery(const Message& m, uint64_t now);
 
   /// Wire traffic the transport owes at `now`: copies of unacknowledged
-  /// messages whose timeout expired (`retransmit == true`) and standalone
-  /// kTransportAcks for channels whose owed ack outlived `ack_delay`.
-  /// The caller puts them on the wire (where faults may hit them again).
+  /// messages whose timeout expired (`retransmit == true`), queued sends
+  /// admitted by a newly opened window, and standalone kTransportAcks for
+  /// channels whose owed ack outlived `ack_delay`. The caller puts them on
+  /// the wire (where faults may hit them again).
   std::vector<Message> PollWire(uint64_t now);
 
   /// Earliest virtual time at which PollWire() will produce traffic, or
-  /// nullopt when no retransmit or ack is pending.
+  /// nullopt when no retransmit, window-opening drain, or ack is pending.
   std::optional<uint64_t> NextDue() const;
 
   /// True iff the receiver of `channel` has already seen `seq`.
   bool Seen(const ChannelKey& channel, uint64_t seq) const;
 
   /// True iff some sent message was never acknowledged (its wire copy may
-  /// be lost and a retransmit pending).
+  /// be lost and a retransmit pending) or waits in a window-stalled queue.
   bool HasUnacked() const;
 
   /// True iff every unacknowledged entry has in fact been delivered (only
-  /// its ack is outstanding) — no payload is missing anywhere.
+  /// its ack is outstanding) — no payload is missing anywhere. A
+  /// window-stalled queued send is undelivered payload by definition.
   bool AllPayloadDelivered() const;
+
+  const TransportStats& stats() const { return stats_; }
 
  private:
   struct Unacked {
     Message copy;
-    uint64_t due;      // next retransmit time
-    uint64_t backoff;  // current multiplier on retransmit_timeout
+    uint64_t due;            // next retransmit time
+    uint64_t backoff;        // current multiplier on the RTO
+    uint64_t sent_at;        // first transmission time (RTT measurement)
+    uint64_t transmissions;  // Karn's rule: sample RTT only when == 1
   };
   struct SenderState {
     uint64_t next_seq = 0;
-    std::map<uint64_t, Unacked> unacked;  // seq -> entry
+    std::map<uint64_t, Unacked> unacked;  // seq -> entry, bounded by window
+    std::deque<Message> pending;          // stamped, waiting for the window
+    // Jacobson/Karels estimator state (virtual-clock steps).
+    bool has_rtt = false;
+    uint64_t srtt = 0;
+    uint64_t rttvar = 0;
   };
   struct ReceiverState {
     uint64_t cum = 0;                  // all seqs <= cum received
@@ -107,7 +159,24 @@ class ReliableTransport {
     }
   };
 
+  /// Current per-channel RTO: SRTT + 4·RTTVAR clamped to
+  /// [rto_min, rto_max], or retransmit_timeout before any sample.
+  uint64_t Rto(const SenderState& sender) const;
+  /// Folds one Karn-eligible RTT measurement into the channel estimator.
+  void SampleRtt(SenderState& sender, uint64_t rtt);
+  /// Fills `m.ack`/`m.sack` from the reverse-channel receiver state and
+  /// re-arms (never clears) the standalone-ack timer.
+  void AttachAck(const ChannelKey& reverse, Message& m, uint64_t now);
+  /// Admits `m` to the window: attaches the ack and records the entry.
+  void Transmit(const ChannelKey& channel, SenderState& sender, Message& m,
+                uint64_t now);
+  /// Erases acked entries (cumulative + SACK), sampling RTTs per Karn.
+  void ApplyAck(SenderState& sender, const Message& m, uint64_t now);
+  /// Bounded SACK block list covering the receiver's out-of-order set.
+  std::vector<SackBlock> EncodeSack(const ReceiverState& receiver) const;
+
   ReliableConfig config_;
+  TransportStats stats_;
   std::map<ChannelKey, SenderState> senders_;
   std::map<ChannelKey, ReceiverState> receivers_;
 };

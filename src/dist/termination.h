@@ -42,7 +42,12 @@ inline constexpr NodeId kNoNode = 0xffffffffu;
 /// dropped one strands the sender's deficit above zero forever. On a
 /// faulty wire the reliable-delivery shim (dist/reliable.h) restores this
 /// guarantee by deduplicating before the DsNode sees the message — acks
-/// are counted against first deliveries only.
+/// are counted against first deliveries only. Note the shim's flow-control
+/// window may hold a sent basic message in a sender-side queue before it
+/// ever reaches the wire; the sender's deficit already counts it, so the
+/// detector stays sound, and SimNetwork::LogicallyQuiescent treats such
+/// queued payload as undelivered (a detection while one exists is a
+/// safety violation, exactly as for an in-flight first copy).
 class DsNode {
  public:
   explicit DsNode(bool is_root) : engaged_(is_root) {}

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Guard: the lossless E3 bench must stay byte-identical across commits.
+
+The distributed runtime promises zero overhead on a perfect wire: with no
+fault plan the reliable-delivery shim is never engaged and every counter in
+BENCH_E3_distributed.json — message, tuple and fact counts, per-peer
+traffic, registry metrics — must match the committed baseline exactly.
+Only wall-clock timing fields (wall_time_ns, ns-unit metrics) are excluded,
+since they vary run to run.
+
+Usage: check_bench_baseline.py <baseline.json> <candidate.json>
+Exits non-zero with a unified diff when the filtered documents differ.
+"""
+import difflib
+import json
+import sys
+
+
+def load_filtered(path):
+    with open(path) as f:
+        doc = json.load(f)
+    doc.pop("wall_time_ns", None)
+    metrics = doc.get("metrics")
+    if isinstance(metrics, dict):
+        metrics["metrics"] = [
+            m
+            for m in metrics.get("metrics", [])
+            if m.get("unit") != "ns" and "wall" not in m.get("name", "")
+        ]
+    return doc
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, candidate_path = argv[1], argv[2]
+    baseline = load_filtered(baseline_path)
+    candidate = load_filtered(candidate_path)
+    if baseline == candidate:
+        print(f"bench baseline OK: {candidate_path} matches {baseline_path}")
+        return 0
+    diff = difflib.unified_diff(
+        json.dumps(baseline, indent=1, sort_keys=True).splitlines(),
+        json.dumps(candidate, indent=1, sort_keys=True).splitlines(),
+        fromfile=baseline_path,
+        tofile=candidate_path,
+        lineterm="",
+    )
+    print("\n".join(diff))
+    print(
+        f"\nbench baseline MISMATCH: {candidate_path} differs from "
+        f"{baseline_path} beyond timing fields.\n"
+        "If the count change is intentional, regenerate the baseline:\n"
+        "  DQSQ_BENCH_OUT_DIR=bench/baselines ./build/bench/bench_distributed",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
