@@ -224,6 +224,108 @@ void LossyTable(bench::BenchReporter& reporter) {
   }
 }
 
+struct CrashCase {
+  const char* name;
+  dist::CrashPlan crash;
+};
+
+std::vector<CrashCase> CrashMatrix() {
+  std::vector<CrashCase> cases;
+  dist::CrashPlan single;
+  single.crash_at_step = {{/*at_step=*/40, /*peer_index=*/0}};
+  single.down_for = 16;
+  single.checkpoint_every = 1;
+  cases.push_back({"single", single});
+  dist::CrashPlan two;
+  two.crash_at_step = {{/*at_step=*/30, /*peer_index=*/1},
+                       {/*at_step=*/90, /*peer_index=*/2}};
+  two.down_for = 24;
+  two.checkpoint_every = 4;
+  cases.push_back({"double", two});
+  dist::CrashPlan random;
+  random.random_crash = 0.03;
+  random.max_random_crashes = 3;
+  random.down_for = 16;
+  random.checkpoint_every = 2;
+  cases.push_back({"random", random});
+  return cases;
+}
+
+// E3-crash: the same chain workload under crash-restart schedules. The
+// crash-free column is the report's pinned reference — its logical
+// counters must stay identical to the lossless E3 run (zero behavior
+// change when no crashes are scheduled) — and every crash-scheduled
+// column must reproduce those logical counters exactly while the crash
+// machinery (checkpoints, WAL replay, epoch re-handshakes) fires.
+void CrashTable(bench::BenchReporter& reporter) {
+  const int kPeers = 4, kPerPeer = 16;
+  const std::string program_text =
+      bench::DistributedChainProgram(kPeers, kPerPeer);
+  const std::string query_text = "path@peer0(v0, Y)";
+  reporter.Param("workload", "distributed_chain");
+  reporter.Param("peers", int64_t{kPeers});
+  reporter.Param("per_peer", int64_t{kPerPeer});
+  reporter.Param("query", query_text);
+  const auto baseline = Run(program_text, query_text, /*qsq=*/true);
+  reporter.Param("crashfree.messages_delivered",
+                 static_cast<int64_t>(baseline.net_stats.messages_delivered));
+  reporter.Param("crashfree.tuples_shipped",
+                 static_cast<int64_t>(baseline.net_stats.tuples_shipped));
+  reporter.Param("crashfree.crashes",
+                 static_cast<int64_t>(baseline.net_stats.crashes));
+  reporter.Param("crashfree.snapshot_bytes",
+                 static_cast<int64_t>(baseline.net_stats.snapshot_bytes));
+  std::printf(
+      "\nE3-crash: crash-restart schedules (chain %dx%d, dQSQ, lossless "
+      "wire)\n"
+      "%-8s | %8s %8s | %7s %8s %6s %10s %8s | %s\n",
+      kPeers, kPerPeer, "schedule", "msgs", "tuples", "crashes", "restarts",
+      "drops", "snap-bytes", "wal-recs", "answers");
+  std::printf("%-8s | %8zu %8zu | %7zu %8zu %6zu %10zu %8zu | agree\n",
+              "none", baseline.net_stats.messages_delivered,
+              baseline.net_stats.tuples_shipped, baseline.net_stats.crashes,
+              baseline.net_stats.restarts, baseline.net_stats.crash_drops,
+              baseline.net_stats.snapshot_bytes,
+              baseline.net_stats.wal_records);
+  for (const CrashCase& c : CrashMatrix()) {
+    dist::FaultPlan plan;
+    plan.crash = c.crash;
+    auto run = Run(program_text, query_text, /*qsq=*/true, plan);
+    const bool agree =
+        run.answers == baseline.answers &&
+        run.net_stats.messages_delivered ==
+            baseline.net_stats.messages_delivered &&
+        run.net_stats.tuples_shipped == baseline.net_stats.tuples_shipped;
+    std::printf("%-8s | %8zu %8zu | %7zu %8zu %6zu %10zu %8zu | %s\n",
+                c.name, run.net_stats.messages_delivered,
+                run.net_stats.tuples_shipped, run.net_stats.crashes,
+                run.net_stats.restarts, run.net_stats.crash_drops,
+                run.net_stats.snapshot_bytes, run.net_stats.wal_records,
+                agree ? "agree" : "MISMATCH");
+    const std::string prefix = std::string("schedule.") + c.name + ".";
+    reporter.Param(prefix + "messages_delivered",
+                   static_cast<int64_t>(run.net_stats.messages_delivered));
+    reporter.Param(prefix + "tuples_shipped",
+                   static_cast<int64_t>(run.net_stats.tuples_shipped));
+    reporter.Param(prefix + "crashes",
+                   static_cast<int64_t>(run.net_stats.crashes));
+    reporter.Param(prefix + "restarts",
+                   static_cast<int64_t>(run.net_stats.restarts));
+    reporter.Param(prefix + "crash_drops",
+                   static_cast<int64_t>(run.net_stats.crash_drops));
+    reporter.Param(prefix + "stale_epoch_drops",
+                   static_cast<int64_t>(run.net_stats.stale_epoch_drops));
+    reporter.Param(prefix + "snapshot_bytes",
+                   static_cast<int64_t>(run.net_stats.snapshot_bytes));
+    reporter.Param(prefix + "wal_records",
+                   static_cast<int64_t>(run.net_stats.wal_records));
+    reporter.Param(prefix + "retransmits",
+                   static_cast<int64_t>(run.net_stats.retransmits));
+    reporter.Param(prefix + "answers_agree",
+                   std::string(agree ? "true" : "false"));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -248,6 +350,10 @@ int main() {
   {
     bench::BenchReporter reporter("E3_distributed_lossy");
     LossyTable(reporter);
+  }
+  {
+    bench::BenchReporter reporter("E3_crash");
+    CrashTable(reporter);
   }
   {
     // Last, so its 48x47 channel counters never pollute the E3 reports.

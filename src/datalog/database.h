@@ -49,6 +49,10 @@ class Database {
   /// All relation instances present.
   std::vector<RelId> Relations() const;
 
+  /// Drops every relation (crash-restart support: the database is rebuilt
+  /// from a snapshot via GetOrCreate + Insert in stored row order).
+  void Clear() { relations_.clear(); }
+
   /// Multi-line "R@p(c1,c2)" dump, sorted, for tests and debugging.
   std::string Dump() const;
 

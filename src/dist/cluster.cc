@@ -70,6 +70,11 @@ Status Cluster::RunUntilTermination(size_t max_steps) {
             "Dijkstra-Scholten detected termination on a non-quiescent "
             "network (safety violation)");
       }
+      // A peer may still be down at detection (all its obligations were
+      // already met pre-crash). Restore it now so answer extraction reads
+      // a live database. (Termination implies nothing undelivered exists,
+      // so the restarts enqueue only re-handshake hellos.)
+      network_.RestoreDownPeers();
       return Status::Ok();
     }
     DQSQ_ASSIGN_OR_RETURN(bool delivered, network_.Step());

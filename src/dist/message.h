@@ -29,8 +29,11 @@ enum class MessageKind {
   kActivate,      // activate `rel`; stream its tuples to `subscriber`
   kSubquery,      // demand for the call pattern (rel, adornment)
   kInstall,       // install `rules` at the receiver (their bodies are local)
-  kAck,           // termination-detection acknowledgment
-  kTransportAck,  // reliable-delivery cumulative ack; never reaches peers
+  kAck,            // termination-detection acknowledgment
+  kTransportAck,   // reliable-delivery cumulative ack; never reaches peers
+  kTransportHello,  // epoch re-handshake after a crash-restart; never
+                    // reaches peers (announces the sender's new epoch and
+                    // carries its receiver-side resume point as an ack)
 };
 
 struct Message {
@@ -53,6 +56,12 @@ struct Message {
   std::vector<SackBlock> sack;  // selective acks: reverse-channel ranges
                                 // received beyond `ack` (bounded list)
   bool retransmit = false;   // wire copy resent after a timeout
+  // Sender incarnation number, stamped on every wire emission when the
+  // network runs with crash-restart support (0 otherwise). A restarted
+  // peer begins a new epoch via kTransportHello; receivers discard
+  // stale-epoch wire copies (hygiene — correctness rests on the durable
+  // snapshot + write-ahead log, see dist/snapshot.h).
+  uint64_t epoch = 0;
 };
 
 }  // namespace dqsq::dist

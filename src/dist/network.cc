@@ -22,6 +22,8 @@ const char* KindName(MessageKind kind) {
       return "ack";
     case MessageKind::kTransportAck:
       return "transport_ack";
+    case MessageKind::kTransportHello:
+      return "transport_hello";
   }
   return "unknown";
 }
@@ -38,9 +40,13 @@ size_t ApproxWireBytes(const Message& m) {
   for (const Tuple& t : m.tuples) bytes += 4 * t.size();
   bytes += (m.adornment.size() + 7) / 8;
   for (const Rule& r : m.rules) bytes += 16 * (1 + r.body.size());
-  if (m.seq > 0 || m.kind == MessageKind::kTransportAck) {
+  if (m.seq > 0 || m.kind == MessageKind::kTransportAck ||
+      m.kind == MessageKind::kTransportHello) {
     bytes += 20 + 16 * m.sack.size();
   }
+  // The epoch field is only ever non-zero after a crash-restart, so
+  // crash-free runs price the wire exactly as before crash support.
+  if (m.epoch > 0) bytes += 8;
   return bytes;
 }
 
@@ -52,6 +58,7 @@ SimNetwork::SimNetwork(uint64_t seed, const FaultPlan& faults,
   if (faults_.active() || force_reliable) {
     transport_ = std::make_unique<ReliableTransport>(faults_.reliable);
   }
+  crash_enabled_ = faults_.crash.active();
 }
 
 void SimNetwork::Register(SymbolId id, PeerNode* peer) {
@@ -63,6 +70,16 @@ void SimNetwork::Send(Message message) {
       << "send to unregistered peer " << message.to;
   DQSQ_CHECK(peers_.contains(message.from))
       << "send from unregistered peer " << message.from;
+  if (replaying_) {
+    // Write-ahead-log replay: the restarting peer re-executes its logged
+    // deliveries, re-issuing the sends it made after the snapshot. The
+    // transport re-stamps them — deterministic replay regenerates the
+    // exact pre-crash sequence numbers, rebuilding the retransmit queue —
+    // but nothing reaches the wire: receivers already saw the original
+    // copies (or will, via the frozen copies' retransmits).
+    transport_->StampOutgoing(message, now_);
+    return;
+  }
   if (transport_ != nullptr && !transport_->StampOutgoing(message, now_)) {
     // Window full: the transport queued the message sender-side; PollWire
     // emits it once acks open the window.
@@ -140,25 +157,30 @@ void SimNetwork::PumpTransport() {
 
 StatusOr<bool> SimNetwork::Step() {
   ++now_;
+  if (crash_enabled_) {
+    EnsureInitialCheckpoints();
+    ProcessCrashSchedule();
+  }
   if (!delayed_.empty()) ReleaseDelayed();
   if (transport_ != nullptr) PumpTransport();
   if (nonempty_.empty()) {
     // Nothing on the wire. Timeouts run on virtual time, so fast-forward
-    // the clock to the next delayed release or shim deadline, if any.
+    // the clock to the next delayed release, shim deadline, or peer
+    // restart, if any.
     uint64_t next = 0;
     bool pending = false;
-    if (!delayed_.empty()) {
-      next = delayed_.begin()->first;
+    auto consider = [&next, &pending](uint64_t t) {
+      next = pending ? std::min(next, t) : t;
       pending = true;
-    }
+    };
+    if (!delayed_.empty()) consider(delayed_.begin()->first);
     if (transport_ != nullptr) {
-      if (auto due = transport_->NextDue(); due.has_value()) {
-        next = pending ? std::min(next, *due) : *due;
-        pending = true;
-      }
+      if (auto due = transport_->NextDue(); due.has_value()) consider(*due);
     }
+    for (const auto& [peer, at] : down_) consider(at);
     if (!pending) return false;
     now_ = std::max(now_, next);
+    if (crash_enabled_) ProcessCrashSchedule();
     ReleaseDelayed();
     if (transport_ != nullptr) PumpTransport();
     // The injected traffic may itself have been dropped by the fault plan;
@@ -174,16 +196,39 @@ StatusOr<bool> SimNetwork::Step() {
 
   RecordWireDelivery(message, key);
 
+  // A down peer loses everything the wire hands it: the copies are
+  // retransmitted (or superseded by the recovery handshake) after restart.
+  if (down_.contains(message.to)) {
+    ++stats_.crash_drops;
+    CountMetric("dist.net.crash_drops", 1, {}, "messages");
+    return true;
+  }
+  // Wire copies stamped by a previous incarnation of the sender are
+  // discarded (the restarted sender re-emits everything that matters
+  // under its new epoch).
+  if (transport_ != nullptr && transport_->IsStale(message)) {
+    ++stats_.stale_epoch_drops;
+    CountMetric("dist.net.stale_epoch_drops", 1, {}, "messages");
+    return true;
+  }
+  // Pessimistic message logging: persist the delivery BEFORE any of its
+  // effects, so a later crash can replay it deterministically.
+  if (crash_enabled_ && peers_.at(message.to)->Restartable()) {
+    WalAppend(message.to, message);
+  }
+
   if (transport_ != nullptr) {
     ReliableTransport::Disposition disposition =
         transport_->OnWireDelivery(message, now_);
     SyncTransportStats();
     switch (disposition) {
       case ReliableTransport::Disposition::kControl:
+        MaybeCheckpoint(message.to);
         return true;
       case ReliableTransport::Disposition::kDuplicate:
         ++stats_.spurious;
         CountMetric("dist.net.spurious", 1, {}, "messages");
+        MaybeCheckpoint(message.to);
         return true;
       case ReliableTransport::Disposition::kDeliverFirst:
         break;  // exactly-once: the peer sees only first deliveries
@@ -204,6 +249,7 @@ StatusOr<bool> SimNetwork::Step() {
 
   PeerNode* peer = peers_.at(message.to);
   DQSQ_RETURN_IF_ERROR(peer->OnMessage(message, *this));
+  MaybeCheckpoint(message.to);
   return true;
 }
 
@@ -292,14 +338,193 @@ Status SimNetwork::RunToQuiescence(size_t max_steps) {
 }
 
 bool SimNetwork::Quiescent() const {
+  // A down peer is pending work by definition: its restart will replay,
+  // re-handshake and retransmit.
+  if (!down_.empty()) return false;
   if (!nonempty_.empty() || !delayed_.empty()) return false;
   return transport_ == nullptr || !transport_->NextDue().has_value();
+}
+
+namespace {
+
+std::string SnapKey(SymbolId peer) { return "snap/" + std::to_string(peer); }
+std::string WalKey(SymbolId peer) { return "wal/" + std::to_string(peer); }
+std::string EpochKey(SymbolId peer) {
+  return "epoch/" + std::to_string(peer);
+}
+
+}  // namespace
+
+void SimNetwork::EnsureInitialCheckpoints() {
+  if (initial_checkpoints_done_) return;
+  initial_checkpoints_done_ = true;
+  DQSQ_CHECK(transport_ != nullptr)
+      << "a crash plan requires the reliable transport";
+  for (const auto& [id, peer] : peers_) {
+    if (peer->Restartable()) restartable_.push_back(id);
+  }
+  DQSQ_CHECK(!restartable_.empty())
+      << "crash plan scheduled but no peer is restartable";
+  for (SymbolId peer : restartable_) CheckpointPeer(peer);
+}
+
+void SimNetwork::ProcessCrashSchedule() {
+  // Restarts first: a peer down exactly down_for steps comes back before
+  // this step's deliveries (and before any fresh crash could target it).
+  if (!down_.empty()) {
+    std::vector<SymbolId> due;
+    for (const auto& [peer, at] : down_) {
+      if (at <= now_) due.push_back(peer);
+    }
+    for (SymbolId peer : due) RestartPeer(peer);
+  }
+  const CrashPlan& plan = faults_.crash;
+  for (size_t i = 0; i < plan.crash_at_step.size(); ++i) {
+    if (fired_.contains(i)) continue;
+    const CrashEvent& event = plan.crash_at_step[i];
+    if (event.at_step > now_) continue;
+    fired_.insert(i);
+    DQSQ_CHECK_LT(event.peer_index, restartable_.size())
+        << "crash event targets a nonexistent restartable peer";
+    SymbolId peer = restartable_[event.peer_index];
+    if (!down_.contains(peer)) CrashPeer(peer);
+  }
+  if (plan.random_crash > 0.0 &&
+      random_crashes_fired_ < plan.max_random_crashes &&
+      fault_rng_.NextBool(plan.random_crash)) {
+    std::vector<SymbolId> alive;
+    for (SymbolId peer : restartable_) {
+      if (!down_.contains(peer)) alive.push_back(peer);
+    }
+    if (!alive.empty()) {
+      ++random_crashes_fired_;
+      CrashPeer(alive[fault_rng_.NextBelow(
+          static_cast<uint32_t>(alive.size()))]);
+    }
+  }
+}
+
+void SimNetwork::CrashPeer(SymbolId peer) {
+  ++stats_.crashes;
+  CountMetric("dist.net.crashes", 1, {{"peer", PeerLabel(peer)}}, "crashes");
+  // The peer loses its volatile state; the transport's view of its
+  // channels is frozen (not wiped) — it is the god's-eye reference the
+  // snapshot+WAL reconstruction is CHECKed against at restart, and it
+  // keeps Seen()/AllPayloadDelivered() truthful while the peer is down.
+  peers_.at(peer)->Crash();
+  transport_->SetPeerDown(peer, true);
+  down_[peer] = now_ + faults_.crash.down_for;
+}
+
+void SimNetwork::RestartPeer(SymbolId peer) {
+  // The frozen pre-crash transport state is, by construction, exactly what
+  // snapshot + write-ahead-log replay must reproduce. Capture its
+  // canonical image before wiping it.
+  std::string frozen_image = transport_->ProtocolImage(peer);
+
+  auto blob = store_.Get(SnapKey(peer));
+  DQSQ_CHECK(blob.has_value()) << "no snapshot for restarting peer " << peer;
+  PeerSnapshot snap = DeserializePeerSnapshot(*blob);
+  DQSQ_CHECK_EQ(snap.peer, peer);
+
+  // The new incarnation must exceed every epoch this peer has ever run
+  // in. The epoch is persisted under its own key so it survives even a
+  // crash that outruns the snapshot cadence.
+  uint64_t stored_epoch = 0;
+  if (auto e = store_.Get(EpochKey(peer)); e.has_value()) {
+    SnapshotReader r(*e);
+    stored_epoch = r.U64();
+  }
+  uint64_t new_epoch = std::max(snap.epoch, stored_epoch) + 1;
+  {
+    SnapshotWriter w;
+    w.U64(new_epoch);
+    store_.Put(EpochKey(peer), w.Take());
+  }
+
+  transport_->RestorePeer(snap, new_epoch, now_);
+  peers_.at(peer)->RestoreState(snap.peer_state);
+  down_.erase(peer);
+  transport_->SetPeerDown(peer, false);
+
+  // Replay the deliveries logged after the snapshot, in order. The peer's
+  // handlers re-issue their sends; Send() suppresses the wire but lets the
+  // transport re-stamp them, regenerating the pre-crash sequence numbers.
+  replaying_ = true;
+  transport_->set_replaying(true);
+  for (const std::string& record : store_.ReadLog(WalKey(peer))) {
+    SnapshotReader r(record);
+    Message m = DecodeMessage(r);
+    ReliableTransport::Disposition disposition =
+        transport_->OnWireDelivery(m, now_);
+    if (disposition == ReliableTransport::Disposition::kDeliverFirst) {
+      // The original processing succeeded; deterministic replay must too.
+      DQSQ_CHECK_OK(peers_.at(peer)->OnMessage(m, *this));
+    }
+  }
+  transport_->set_replaying(false);
+  replaying_ = false;
+
+  // Determinism is the load-bearing wall of this recovery scheme (replay
+  // regenerates the exact messages whose originals may still be acked or
+  // delivered): verify the reconstruction matches the frozen truth.
+  DQSQ_CHECK(transport_->ProtocolImage(peer) == frozen_image)
+      << "snapshot + WAL replay diverged from the pre-crash state of peer "
+      << peer << " (nondeterministic replay)";
+
+  ++stats_.restarts;
+  CountMetric("dist.net.restarts", 1, {{"peer", PeerLabel(peer)}},
+              "restarts");
+  CheckpointPeer(peer);
+
+  // Epoch re-handshake: announce the new incarnation and the restored
+  // resume points. Hellos travel the faulty wire unreliably — a lost one
+  // self-heals because every subsequent emission re-stamps the epoch.
+  for (Message& hello : transport_->MakeHellos(peer, now_)) {
+    EnqueueWire(std::move(hello));
+  }
+}
+
+void SimNetwork::CheckpointPeer(SymbolId peer) {
+  PeerSnapshot snap;
+  transport_->ExportPeer(peer, &snap);
+  snap.peer_state = peers_.at(peer)->SaveState();
+  std::string bytes = SerializePeerSnapshot(snap);
+  stats_.snapshot_bytes += bytes.size();
+  CountMetric("dist.net.snapshot_bytes", bytes.size(),
+              {{"peer", PeerLabel(peer)}}, "bytes");
+  store_.Put(SnapKey(peer), std::move(bytes));
+  store_.TruncateLog(WalKey(peer));
+  wal_len_[peer] = 0;
+}
+
+void SimNetwork::WalAppend(SymbolId peer, const Message& message) {
+  SnapshotWriter w;
+  EncodeMessage(message, w);
+  store_.Append(WalKey(peer), w.Take());
+  ++wal_len_[peer];
+  ++stats_.wal_records;
+  CountMetric("dist.net.wal_records", 1, {}, "records");
+}
+
+void SimNetwork::MaybeCheckpoint(SymbolId peer) {
+  if (!crash_enabled_) return;
+  auto it = wal_len_.find(peer);
+  if (it == wal_len_.end() || it->second < faults_.crash.checkpoint_every) {
+    return;
+  }
+  CheckpointPeer(peer);
+}
+
+void SimNetwork::RestoreDownPeers() {
+  while (!down_.empty()) RestartPeer(down_.begin()->first);
 }
 
 bool SimNetwork::LogicallyQuiescent() const {
   if (transport_ == nullptr) return Quiescent();
   auto undelivered = [&](const Message& m) {
     return m.kind != MessageKind::kTransportAck &&
+           m.kind != MessageKind::kTransportHello &&
            !transport_->Seen({m.from, m.to}, m.seq);
   };
   for (const auto& [key, channel] : channels_) {

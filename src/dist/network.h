@@ -13,10 +13,12 @@
 #ifndef DQSQ_DIST_NETWORK_H_
 #define DQSQ_DIST_NETWORK_H_
 
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,10 +27,38 @@
 #include "common/status.h"
 #include "dist/message.h"
 #include "dist/reliable.h"
+#include "dist/snapshot.h"
 
 namespace dqsq::dist {
 
 class PeerNode;
+
+/// One scheduled peer crash: at virtual time `at_step` the `peer_index`-th
+/// restartable peer (ascending SymbolId order) loses its volatile state.
+struct CrashEvent {
+  uint64_t at_step = 0;
+  size_t peer_index = 0;
+};
+
+/// Crash-restart schedule layered on a FaultPlan. A crashed peer's
+/// volatile state (transport channels, Dijkstra–Scholten engagement,
+/// materialized relations) is wiped and reconstructed `down_for` steps
+/// later from its last durable snapshot plus write-ahead-log replay
+/// (dist/snapshot.h); while down, wire deliveries to it are lost.
+struct CrashPlan {
+  std::vector<CrashEvent> crash_at_step;  // deterministic schedule
+  double random_crash = 0.0;       // per-step crash probability (seeded)
+  size_t max_random_crashes = 0;   // cap on random crashes
+  uint64_t down_for = 32;          // steps between crash and restart
+  // A full snapshot is taken (truncating the write-ahead log) every this
+  // many logged deliveries. 1 = checkpoint on every delivery.
+  size_t checkpoint_every = 1;
+
+  bool active() const {
+    return !crash_at_step.empty() ||
+           (random_crash > 0.0 && max_random_crashes > 0);
+  }
+};
 
 /// Per-message fault probabilities applied to every wire enqueue
 /// (including retransmits and transport acks). All-zero means a perfect
@@ -40,8 +70,11 @@ struct FaultPlan {
                            // (breaks per-channel FIFO: reordering)
   uint32_t max_delay_steps = 8;
   ReliableConfig reliable;  // shim tuning, used when the plan is active
+  CrashPlan crash;          // peer crash-restart schedule
 
-  bool active() const { return drop > 0.0 || duplicate > 0.0 || delay > 0.0; }
+  bool active() const {
+    return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || crash.active();
+  }
 };
 
 struct NetworkStats {
@@ -70,6 +103,13 @@ struct NetworkStats {
   size_t window_stalls = 0;      // sends deferred by a full window
   size_t window_drained = 0;     // deferred sends released by acks
   size_t rtt_samples = 0;        // Karn-eligible RTT measurements
+  // Crash-restart accounting (0 unless the plan schedules crashes).
+  size_t crashes = 0;            // peers that lost their volatile state
+  size_t restarts = 0;           // recoveries from snapshot + WAL replay
+  size_t stale_epoch_drops = 0;  // wire copies from a dead incarnation
+  size_t crash_drops = 0;        // wire deliveries lost at a down peer
+  size_t snapshot_bytes = 0;     // serialized checkpoint volume
+  size_t wal_records = 0;        // write-ahead-logged deliveries
 };
 
 class SimNetwork {
@@ -113,8 +153,18 @@ class SimNetwork {
   bool LogicallyQuiescent() const;
 
   bool reliable() const { return transport_ != nullptr; }
+  bool crash_enabled() const { return crash_enabled_; }
   const NetworkStats& stats() const { return stats_; }
   size_t num_peers() const { return peers_.size(); }
+
+  /// Force-restarts every currently down peer (snapshot + WAL replay +
+  /// re-handshake), without waiting out its down_for window. Called after
+  /// termination detection so answer extraction reads restored databases;
+  /// also useful in tests.
+  void RestoreDownPeers();
+
+  /// The store checkpoints and write-ahead logs are persisted to.
+  const DurableStore& durable_store() const { return store_; }
 
   /// Names peers in metric labels (dist.net.channel_messages{from=,to=}).
   /// Defaults to "peer<id>". Set before the first Send/Step: channel
@@ -146,6 +196,28 @@ class SimNetwork {
   /// Enqueues the shim's due retransmits and standalone acks.
   void PumpTransport();
 
+  // ---- Crash-restart machinery (dist/snapshot.h) ------------------------
+
+  /// Checkpoints every restartable peer once, before the first delivery,
+  /// so a crash at any step has a snapshot to recover from.
+  void EnsureInitialCheckpoints();
+  /// Fires due restarts, then due deterministic crash events, then at most
+  /// one seeded random crash.
+  void ProcessCrashSchedule();
+  /// Wipes `peer`'s volatile state (PeerNode::Crash) and freezes its
+  /// transport channels; deliveries to it are lost until restart.
+  void CrashPeer(SymbolId peer);
+  /// Restores `peer` from its last snapshot under a fresh epoch, replays
+  /// its write-ahead log, CHECKs the reconstruction against the frozen
+  /// pre-crash protocol image, re-checkpoints, and sends hellos.
+  void RestartPeer(SymbolId peer);
+  /// Serializes `peer`'s full state to the store and truncates its WAL.
+  void CheckpointPeer(SymbolId peer);
+  /// Appends one delivered message to `peer`'s write-ahead log.
+  void WalAppend(SymbolId peer, const Message& message);
+  /// Checkpoints `peer` when its WAL reached CrashPlan::checkpoint_every.
+  void MaybeCheckpoint(SymbolId peer);
+
   Rng rng_;        // scheduler: cross-channel interleaving only
   Rng fault_rng_;  // fault draws; never consulted when the plan is inactive
   FaultPlan faults_;
@@ -162,6 +234,21 @@ class SimNetwork {
   std::function<std::string(SymbolId)> namer_;
   // Per-channel registry counters, resolved once per channel.
   std::map<ChannelKey, Counter*> channel_counters_;
+  // Crash-restart state: the durable store, the restartable peers in
+  // ascending id order (CrashEvent::peer_index indexes this), down peers
+  // with their restart times, per-peer WAL lengths since the last
+  // checkpoint, fired deterministic events, and the replay flag that
+  // suppresses wire traffic while a restarted peer re-executes logged
+  // deliveries.
+  bool crash_enabled_ = false;
+  InMemoryDurableStore store_;
+  std::vector<SymbolId> restartable_;
+  bool initial_checkpoints_done_ = false;
+  std::map<SymbolId, uint64_t> down_;  // peer -> restart due time
+  std::map<SymbolId, size_t> wal_len_;
+  std::set<size_t> fired_;
+  size_t random_crashes_fired_ = 0;
+  bool replaying_ = false;
 };
 
 /// Interface implemented by dDatalog peers (and test doubles).
@@ -170,6 +257,19 @@ class PeerNode {
   virtual ~PeerNode() = default;
   /// Handles one delivered message; may Send on `network`.
   virtual Status OnMessage(const Message& message, SimNetwork& network) = 0;
+
+  // Crash-restart hooks (dist/snapshot.h). The default implementation
+  // opts out: only peers that can serialize their full volatile state may
+  // be crashed by a CrashPlan.
+  virtual bool Restartable() const { return false; }
+  /// Serializes the peer's volatile state (an opaque blob stored as
+  /// PeerSnapshot::peer_state).
+  virtual std::string SaveState() const { return {}; }
+  /// Reinstates a SaveState() blob after a crash.
+  virtual void RestoreState(const std::string& state) { (void)state; }
+  /// Wipes the peer's volatile state (the crash itself). A crashed peer
+  /// must not process messages until RestoreState.
+  virtual void Crash() {}
 };
 
 }  // namespace dqsq::dist

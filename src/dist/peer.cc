@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "datalog/qsq_rewrite.h"
+#include "dist/snapshot.h"
 
 namespace dqsq::dist {
 
@@ -44,6 +45,10 @@ bool DatalogPeer::HasRulesFor(const RelId& rel) const {
 }
 
 Status DatalogPeer::OnMessage(const Message& message, SimNetwork& network) {
+  DQSQ_CHECK(!crashed_) << "message delivered to a crashed peer "
+                        << ctx_->symbols().Name(id_)
+                        << " (deliveries to down peers must be dropped at "
+                           "the wire)";
   if (message.kind == MessageKind::kAck) {
     ds_.OnReceiveAck();
     MaybeDisengage(network);
@@ -86,6 +91,8 @@ Status DatalogPeer::Dispatch(const Message& message, SimNetwork& network) {
       return InternalError("ack handled before dispatch");
     case MessageKind::kTransportAck:
       return InternalError("transport ack leaked through the network shim");
+    case MessageKind::kTransportHello:
+      return InternalError("transport hello leaked through the network shim");
   }
   return InternalError("unknown message kind");
 }
@@ -254,7 +261,11 @@ Status DatalogPeer::RunFixpointAndFlush(SimNetwork& network) {
   }
   // Ship derived tuples of remote-owned relations to their owner (dQSQ
   // binding/answer flow and remainder-rule heads).
-  for (const RelId& rel : db_.Relations()) {
+  std::vector<RelId> rels = db_.Relations();
+  std::sort(rels.begin(), rels.end(), [](const RelId& a, const RelId& b) {
+    return a.pred != b.pred ? a.pred < b.pred : a.peer < b.peer;
+  });
+  for (const RelId& rel : rels) {
     if (rel.peer != id_) FlushRelationTo(rel, rel.peer, network);
   }
   return Status::Ok();
@@ -308,6 +319,175 @@ void DatalogPeer::MaybeDisengage(SimNetwork& network) {
     CountMetric("dist.ds.disengagements", 1, PeerLabels(ctx_, id_));
     SendAck(ds_.parent(), network);
   }
+}
+
+namespace {
+
+void EncodeRelId(const RelId& rel, SnapshotWriter& w) {
+  w.U32(rel.pred);
+  w.U32(rel.peer);
+}
+
+RelId DecodeRelId(SnapshotReader& r) {
+  RelId rel;
+  rel.pred = r.U32();
+  rel.peer = r.U32();
+  return rel;
+}
+
+void EncodePeerTuple(std::span<const TermId> t, SnapshotWriter& w) {
+  w.U64(t.size());
+  for (TermId id : t) w.U32(id);
+}
+
+Tuple DecodePeerTuple(SnapshotReader& r) {
+  uint64_t n = r.U64();
+  Tuple t;
+  t.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) t.push_back(r.U32());
+  return t;
+}
+
+void EncodeAdornmentBits(const Adornment& a, SnapshotWriter& w) {
+  w.U64(a.size());
+  for (bool b : a) w.Bool(b);
+}
+
+Adornment DecodeAdornmentBits(SnapshotReader& r) {
+  uint64_t n = r.U64();
+  Adornment a;
+  a.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) a.push_back(r.Bool());
+  return a;
+}
+
+}  // namespace
+
+std::string DatalogPeer::SaveState() const {
+  SnapshotWriter w;
+  // Dijkstra–Scholten engagement: a restarted peer resumes exactly the
+  // deficit/parent it had, so the deferred ack to its tree parent is still
+  // owed and no sender's deficit underflows.
+  w.Bool(ds_.engaged());
+  w.U64(ds_.deficit());
+  w.U32(ds_.parent());
+  w.U64(program_.rules.size());
+  for (const Rule& rule : program_.rules) EncodeRule(rule, w);
+  w.U64(source_rules_.rules.size());
+  for (const Rule& rule : source_rules_.rules) EncodeRule(rule, w);
+  // Relations sorted by (pred, peer); rows in insertion order, which the
+  // ship watermarks in shipped_ index into.
+  std::vector<RelId> rels = db_.Relations();
+  std::sort(rels.begin(), rels.end(), [](const RelId& a, const RelId& b) {
+    return a.pred != b.pred ? a.pred < b.pred : a.peer < b.peer;
+  });
+  w.U64(rels.size());
+  for (const RelId& rel : rels) {
+    EncodeRelId(rel, w);
+    const Relation* relation = db_.Find(rel);
+    w.U64(relation->size());
+    for (size_t row = 0; row < relation->size(); ++row) {
+      EncodePeerTuple(relation->Row(row), w);
+    }
+  }
+  w.U64(active_.size());
+  for (const RelId& rel : active_) EncodeRelId(rel, w);
+  w.U64(subscribers_.size());
+  for (const auto& [rel, subs] : subscribers_) {
+    EncodeRelId(rel, w);
+    w.U64(subs.size());
+    for (SymbolId sub : subs) w.U32(sub);
+  }
+  w.U64(shipped_.size());
+  for (const auto& [key, watermark] : shipped_) {
+    EncodeRelId(key.first, w);
+    w.U32(key.second);
+    w.U64(watermark);
+  }
+  w.U64(received_.size());
+  for (const auto& [rel, tuples] : received_) {
+    EncodeRelId(rel, w);
+    w.U64(tuples.size());
+    for (const Tuple& t : tuples) EncodePeerTuple(t, w);
+  }
+  w.U64(rewritten_.size());
+  for (const auto& [pred, adornment] : rewritten_) {
+    w.U32(pred);
+    EncodeAdornmentBits(adornment, w);
+  }
+  return w.Take();
+}
+
+void DatalogPeer::RestoreState(const std::string& state) {
+  Crash();  // start from a blank slate
+  crashed_ = false;
+  SnapshotReader r(state);
+  bool engaged = r.Bool();
+  uint64_t deficit = r.U64();
+  NodeId parent = r.U32();
+  ds_.RestoreState(engaged, deficit, parent);
+  uint64_t n = r.U64();
+  program_.rules.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) program_.rules.push_back(DecodeRule(r));
+  n = r.U64();
+  source_rules_.rules.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    source_rules_.rules.push_back(DecodeRule(r));
+  }
+  n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    RelId rel = DecodeRelId(r);
+    uint64_t rows = r.U64();
+    // GetOrCreate materializes empty relations too — their existence (and
+    // row order in non-empty ones) must survive the round trip exactly,
+    // since ship watermarks index into it.
+    db_.GetOrCreate(rel);
+    for (uint64_t row = 0; row < rows; ++row) {
+      db_.Insert(rel, DecodePeerTuple(r));
+    }
+  }
+  n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) active_.insert(DecodeRelId(r));
+  n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    RelId rel = DecodeRelId(r);
+    uint64_t subs = r.U64();
+    auto& set = subscribers_[rel];
+    for (uint64_t j = 0; j < subs; ++j) set.insert(r.U32());
+  }
+  n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    RelId rel = DecodeRelId(r);
+    SymbolId target = r.U32();
+    shipped_[{rel, target}] = r.U64();
+  }
+  n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    RelId rel = DecodeRelId(r);
+    uint64_t tuples = r.U64();
+    auto& set = received_[rel];
+    for (uint64_t j = 0; j < tuples; ++j) set.insert(DecodePeerTuple(r));
+  }
+  n = r.U64();
+  for (uint64_t i = 0; i < n; ++i) {
+    PredicateId pred = r.U32();
+    rewritten_.emplace(pred, DecodeAdornmentBits(r));
+  }
+  DQSQ_CHECK(r.AtEnd()) << "trailing bytes after peer state";
+  CountMetric("dist.peer.restores", 1, PeerLabels(ctx_, id_));
+}
+
+void DatalogPeer::Crash() {
+  db_.Clear();
+  program_.rules.clear();
+  source_rules_.rules.clear();
+  active_.clear();
+  subscribers_.clear();
+  shipped_.clear();
+  received_.clear();
+  rewritten_.clear();
+  ds_.RestoreState(/*engaged=*/false, /*deficit=*/0, kNoNode);
+  crashed_ = true;
 }
 
 }  // namespace dqsq::dist

@@ -52,6 +52,16 @@ class DatalogPeer : public PeerNode {
 
   Status OnMessage(const Message& message, SimNetwork& network) override;
 
+  // Crash-restart hooks (dist/snapshot.h): a DatalogPeer serializes its
+  // complete volatile state — materialized relations, installed and
+  // source rules, activation/subscription/ship-watermark/replica/rewrite
+  // bookkeeping, and its Dijkstra–Scholten engagement — so SimNetwork can
+  // checkpoint and reconstruct it after an injected crash.
+  bool Restartable() const override { return true; }
+  std::string SaveState() const override;
+  void RestoreState(const std::string& state) override;
+  void Crash() override;
+
   /// Dijkstra–Scholten state (peers start passive and unengaged; the
   /// driver is the diffusing computation's root).
   const DsNode& ds() const { return ds_; }
@@ -130,6 +140,10 @@ class DatalogPeer : public PeerNode {
   // Call patterns already rewritten (pred + adornment; "the same machinery
   // is reused" for repeated requests).
   std::set<std::pair<PredicateId, Adornment>> rewritten_;
+  // Set by Crash(), cleared by RestoreState(): a crashed peer must not
+  // process messages (the network drops deliveries to down peers — a
+  // delivery reaching a crashed peer is a simulator bug).
+  bool crashed_ = false;
 };
 
 }  // namespace dqsq::dist

@@ -1,6 +1,7 @@
 #include "dist/reliable.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/logging.h"
 
@@ -16,6 +17,9 @@ uint64_t ReliableTransport::Rto(const SenderState& sender) const {
 
 void ReliableTransport::SampleRtt(SenderState& sender, uint64_t rtt) {
   if (!config_.adaptive_rto) return;
+  // Replayed deliveries carry no timing information (their "RTT" is the
+  // replay loop's zero-width clock): keep them out of the estimator.
+  if (replaying_) return;
   ++stats_.rtt_samples;
   if (!sender.has_rtt) {
     // RFC 6298 initialization: SRTT = R, RTTVAR = R/2.
@@ -65,6 +69,7 @@ void ReliableTransport::Transmit(const ChannelKey& channel,
                                  uint64_t now) {
   AttachAck(ChannelKey{channel.second, channel.first}, m, now);
   m.retransmit = false;
+  m.epoch = EpochOf(channel.first);
   sender.unacked.emplace(
       m.seq, Unacked{m, now + Rto(sender), /*backoff=*/1, /*sent_at=*/now,
                      /*transmissions=*/1});
@@ -110,10 +115,33 @@ void ReliableTransport::ApplyAck(SenderState& sender, const Message& m,
       it = sample_and_erase(it);
     }
   }
+  // Covered window-stalled entries are erased too. A live receiver cannot
+  // acknowledge a sequence number that was never transmitted, so this
+  // branch is unreachable in live operation; during write-ahead-log
+  // replay, however, an ack can replay before the PollWire drain that
+  // originally put its target on the wire, leaving the (already
+  // delivered) entry stranded in the pending queue.
+  if (!sender.pending.empty()) {
+    auto covered = [&m](const Message& p) {
+      if (p.seq <= m.ack) return true;
+      return std::any_of(m.sack.begin(), m.sack.end(),
+                         [&p](const SackBlock& b) {
+                           return b.first <= p.seq && p.seq <= b.last;
+                         });
+    };
+    std::erase_if(sender.pending, covered);
+  }
 }
 
 ReliableTransport::Disposition ReliableTransport::OnWireDelivery(
     const Message& m, uint64_t now) {
+  // Every delivery teaches the channel the sender's incarnation, so a
+  // dropped kTransportHello self-heals: the next data message or
+  // retransmit (all re-stamped with the current epoch) carries the news.
+  if (m.epoch > 0) {
+    uint64_t& known = known_epoch_[ChannelKey{m.from, m.to}];
+    known = std::max(known, m.epoch);
+  }
   // The ack concerns messages the receiver (m.to) previously sent to m.from.
   if (m.ack > 0 || !m.sack.empty()) {
     ChannelKey data_channel{m.to, m.from};
@@ -139,7 +167,10 @@ ReliableTransport::Disposition ReliableTransport::OnWireDelivery(
       }
     }
   }
-  if (m.kind == MessageKind::kTransportAck) return Disposition::kControl;
+  if (m.kind == MessageKind::kTransportAck ||
+      m.kind == MessageKind::kTransportHello) {
+    return Disposition::kControl;
+  }
   DQSQ_CHECK_GT(m.seq, 0u) << "unsequenced message on a reliable channel";
 
   ReceiverState& receiver = receivers_[ChannelKey{m.from, m.to}];
@@ -168,6 +199,7 @@ ReliableTransport::Disposition ReliableTransport::OnWireDelivery(
 std::vector<Message> ReliableTransport::PollWire(uint64_t now) {
   std::vector<Message> out;
   for (auto& [channel, sender] : senders_) {
+    if (down_.contains(channel.first)) continue;  // frozen: crashed sender
     for (auto& [seq, entry] : sender.unacked) {
       if (entry.due > now) continue;
       entry.backoff = std::min(entry.backoff * 2, config_.max_backoff);
@@ -175,9 +207,11 @@ std::vector<Message> ReliableTransport::PollWire(uint64_t now) {
       ++entry.transmissions;  // Karn: this entry's RTT is now ambiguous
       Message copy = entry.copy;
       copy.retransmit = true;
-      // Refresh the piggybacked ack + SACK blocks: the reverse channel may
-      // have advanced since the original send.
+      // Refresh the piggybacked ack + SACK blocks and the epoch stamp: the
+      // reverse channel may have advanced — and the sender may have
+      // restarted — since the original send.
       AttachAck(ChannelKey{channel.second, channel.first}, copy, now);
+      copy.epoch = EpochOf(channel.first);
       out.push_back(std::move(copy));
     }
     // Drain window-stalled sends as acks open the window.
@@ -191,6 +225,7 @@ std::vector<Message> ReliableTransport::PollWire(uint64_t now) {
     }
   }
   for (auto& [channel, receiver] : receivers_) {
+    if (down_.contains(channel.second)) continue;  // frozen: crashed receiver
     if (!receiver.ack_owed || now < receiver.owed_since + config_.ack_delay) {
       continue;
     }
@@ -204,6 +239,7 @@ std::vector<Message> ReliableTransport::PollWire(uint64_t now) {
     ack.to = channel.first;
     ack.ack = receiver.cum;
     ack.sack = EncodeSack(receiver);
+    ack.epoch = EpochOf(channel.second);
     out.push_back(std::move(ack));
   }
   return out;
@@ -215,6 +251,7 @@ std::optional<uint64_t> ReliableTransport::NextDue() const {
     if (!due.has_value() || t < *due) due = t;
   };
   for (const auto& [channel, sender] : senders_) {
+    if (down_.contains(channel.first)) continue;
     for (const auto& [seq, entry] : sender.unacked) consider(entry.due);
     if (!sender.pending.empty() &&
         (config_.window == 0 || sender.unacked.size() < config_.window)) {
@@ -222,6 +259,7 @@ std::optional<uint64_t> ReliableTransport::NextDue() const {
     }
   }
   for (const auto& [channel, receiver] : receivers_) {
+    if (down_.contains(channel.second)) continue;
     if (receiver.ack_owed) consider(receiver.owed_since + config_.ack_delay);
   }
   return due;
@@ -247,6 +285,165 @@ bool ReliableTransport::AllPayloadDelivered() const {
     }
   }
   return true;
+}
+
+uint64_t ReliableTransport::EpochOf(SymbolId peer) const {
+  auto it = epochs_.find(peer);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+bool ReliableTransport::IsStale(const Message& m) const {
+  auto it = known_epoch_.find(ChannelKey{m.from, m.to});
+  return it != known_epoch_.end() && m.epoch < it->second;
+}
+
+void ReliableTransport::SetPeerDown(SymbolId peer, bool down) {
+  if (down) {
+    down_.insert(peer);
+  } else {
+    down_.erase(peer);
+  }
+}
+
+void ReliableTransport::ExportPeer(SymbolId peer, PeerSnapshot* snap) const {
+  snap->peer = peer;
+  snap->epoch = EpochOf(peer);
+  snap->senders.clear();
+  snap->receivers.clear();
+  // Map iteration order is ascending by (from, to); with one side fixed to
+  // `peer` the exported channels are ascending by counterpart, which makes
+  // the serialized snapshot byte-stable.
+  for (const auto& [channel, sender] : senders_) {
+    if (channel.first != peer) continue;
+    ChannelSenderState s;
+    s.to = channel.second;
+    s.next_seq = sender.next_seq;
+    for (const auto& [seq, entry] : sender.unacked) {
+      s.unacked.push_back(entry.copy);
+    }
+    s.pending.assign(sender.pending.begin(), sender.pending.end());
+    snap->senders.push_back(std::move(s));
+  }
+  for (const auto& [channel, receiver] : receivers_) {
+    if (channel.second != peer) continue;
+    ChannelReceiverState r;
+    r.from = channel.first;
+    r.cum = receiver.cum;
+    r.out_of_order.assign(receiver.out_of_order.begin(),
+                          receiver.out_of_order.end());
+    snap->receivers.push_back(std::move(r));
+  }
+}
+
+void ReliableTransport::RestorePeer(const PeerSnapshot& snap,
+                                    uint64_t new_epoch, uint64_t now) {
+  SymbolId peer = snap.peer;
+  DQSQ_CHECK_GT(new_epoch, EpochOf(peer))
+      << "epoch regressed on restore: peer restarted into an incarnation "
+         "it already passed through";
+  DQSQ_CHECK_GT(new_epoch, snap.epoch)
+      << "epoch regressed on restore: snapshot taken in a later incarnation";
+  epochs_[peer] = new_epoch;
+  for (auto it = senders_.begin(); it != senders_.end();) {
+    it = it->first.first == peer ? senders_.erase(it) : std::next(it);
+  }
+  for (auto it = receivers_.begin(); it != receivers_.end();) {
+    it = it->first.second == peer ? receivers_.erase(it) : std::next(it);
+  }
+  for (const ChannelSenderState& s : snap.senders) {
+    SenderState& sender = senders_[ChannelKey{peer, s.to}];
+    sender.next_seq = s.next_seq;
+    for (const Message& m : s.unacked) {
+      // Due immediately: the wire copy may have died with the old
+      // incarnation. transmissions=2 poisons the entry for Karn (an ack
+      // may answer either the pre-crash or the post-restart copy). The
+      // retransmit path re-stamps ack/SACK/epoch at emission time.
+      sender.unacked.emplace(
+          m.seq, Unacked{m, /*due=*/now, /*backoff=*/1, /*sent_at=*/now,
+                         /*transmissions=*/2});
+    }
+    // Pending entries drain through Transmit (PollWire), which re-stamps
+    // the piggybacked cumulative ack, SACK blocks and epoch — restored
+    // queue entries never hit the wire with their stored (stale) stamps.
+    sender.pending.assign(s.pending.begin(), s.pending.end());
+  }
+  for (const ChannelReceiverState& r : snap.receivers) {
+    ReceiverState& receiver = receivers_[ChannelKey{r.from, peer}];
+    receiver.cum = r.cum;
+    receiver.out_of_order.clear();
+    receiver.out_of_order.insert(r.out_of_order.begin(),
+                                 r.out_of_order.end());
+    // Re-advertise the resume point promptly: counterparts may have lost
+    // acks in the crash window and be retransmitting delivered payload.
+    receiver.ack_owed = true;
+    receiver.owed_since = now;
+  }
+}
+
+std::vector<Message> ReliableTransport::MakeHellos(SymbolId peer,
+                                                   uint64_t /*now*/) {
+  std::set<SymbolId> counterparts;
+  for (const auto& [channel, sender] : senders_) {
+    if (channel.first == peer) counterparts.insert(channel.second);
+  }
+  for (const auto& [channel, receiver] : receivers_) {
+    if (channel.second == peer) counterparts.insert(channel.first);
+  }
+  std::vector<Message> hellos;
+  for (SymbolId other : counterparts) {
+    Message hello;
+    hello.kind = MessageKind::kTransportHello;
+    hello.from = peer;
+    hello.to = other;
+    hello.epoch = EpochOf(peer);
+    // Carry the restored receiver-side resume point for the reverse
+    // channel, exactly like a standalone ack.
+    if (auto it = receivers_.find(ChannelKey{other, peer});
+        it != receivers_.end()) {
+      hello.ack = it->second.cum;
+      hello.sack = EncodeSack(it->second);
+    }
+    hellos.push_back(std::move(hello));
+  }
+  return hellos;
+}
+
+std::string ReliableTransport::ProtocolImage(SymbolId peer) const {
+  SnapshotWriter w;
+  for (const auto& [channel, sender] : senders_) {
+    if (channel.first != peer) continue;
+    w.U8(1);  // sender-channel tag
+    w.U32(channel.second);
+    w.U64(sender.next_seq);
+    // The unacked/pending partition is timing-dependent (replay performs
+    // no window drains), but the merged outstanding set must match the
+    // pre-crash state exactly. Scrub the stamps attached at (re)emission
+    // time — piggybacked acks, SACK blocks, retransmit flag, epoch — which
+    // legitimately differ between the original run and the reconstruction.
+    std::map<uint64_t, const Message*> outstanding;
+    for (const auto& [seq, entry] : sender.unacked) {
+      outstanding[seq] = &entry.copy;
+    }
+    for (const Message& m : sender.pending) outstanding[m.seq] = &m;
+    w.U64(outstanding.size());
+    for (const auto& [seq, m] : outstanding) {
+      Message scrubbed = *m;
+      scrubbed.ack = 0;
+      scrubbed.sack.clear();
+      scrubbed.retransmit = false;
+      scrubbed.epoch = 0;
+      EncodeMessage(scrubbed, w);
+    }
+  }
+  for (const auto& [channel, receiver] : receivers_) {
+    if (channel.second != peer) continue;
+    w.U8(2);  // receiver-channel tag
+    w.U32(channel.first);
+    w.U64(receiver.cum);
+    w.U64(receiver.out_of_order.size());
+    for (uint64_t seq : receiver.out_of_order) w.U64(seq);
+  }
+  return w.Take();
 }
 
 }  // namespace dqsq::dist

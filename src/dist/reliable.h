@@ -38,10 +38,12 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "dist/message.h"
+#include "dist/snapshot.h"
 
 namespace dqsq::dist {
 
@@ -88,7 +90,8 @@ class ReliableTransport {
   enum class Disposition {
     kDeliverFirst,  // first delivery: hand the message to the peer
     kDuplicate,     // already delivered: suppress (spurious retransmit)
-    kControl,       // transport-internal (kTransportAck): consume silently
+    kControl,       // transport-internal (kTransportAck / kTransportHello):
+                    // consume silently
   };
 
   explicit ReliableTransport(ReliableConfig config = {}) : config_(config) {}
@@ -131,6 +134,60 @@ class ReliableTransport {
 
   const TransportStats& stats() const { return stats_; }
 
+  // ---- Crash-restart support (see dist/snapshot.h) -----------------------
+
+  /// Current incarnation of `peer` (0 = never restarted).
+  uint64_t EpochOf(SymbolId peer) const;
+
+  /// True iff `m` carries an epoch older than the highest its channel has
+  /// witnessed — a wire copy emitted by a previous incarnation of the
+  /// sender. Stale copies are dropped by the network before delivery
+  /// (hygiene: deduplication would absorb them anyway).
+  bool IsStale(const Message& m) const;
+
+  /// Freezes (down) or unfreezes a crashed peer's channel state: down
+  /// channels neither retransmit, drain their pending queue, nor flush
+  /// standalone acks. The frozen state is NOT wiped — it is the simulator's
+  /// god's-eye reference (Seen / AllPayloadDelivered stay accurate while
+  /// the peer is down) and the oracle the restored state is CHECKed
+  /// against (ProtocolImage).
+  void SetPeerDown(SymbolId peer, bool down);
+
+  /// Exports `peer`'s channel state (every sender channel it owns and
+  /// every receiver channel into it, ascending by counterpart) plus its
+  /// epoch into `snap`. Does not touch `snap->peer_state`.
+  void ExportPeer(SymbolId peer, PeerSnapshot* snap) const;
+
+  /// Discards `peer`'s channel state and reinstates `snap` under the new
+  /// incarnation `new_epoch`. CHECK-fails on a regressed epoch (new_epoch
+  /// must exceed both the peer's current epoch and the snapshot's).
+  /// Restored unacked entries are due for immediate retransmission and
+  /// Karn-poisoned (their RTT is ambiguous across the crash); the RTT
+  /// estimator restarts fresh; restored receivers immediately owe an ack
+  /// (re-advertising the resume point).
+  void RestorePeer(const PeerSnapshot& snap, uint64_t new_epoch,
+                   uint64_t now);
+
+  /// Epoch re-handshake: one kTransportHello from the (just restarted)
+  /// `peer` to every counterpart it shares channel state with, announcing
+  /// the new epoch and carrying the restored receiver-side resume point as
+  /// a cumulative ack + SACK blocks. Sent unreliably — a lost hello
+  /// self-heals because every wire emission re-stamps the current epoch.
+  std::vector<Message> MakeHellos(SymbolId peer, uint64_t now);
+
+  /// Canonical timing-free serialization of `peer`'s protocol state: per
+  /// sender channel the counterpart, next_seq and the merged outstanding
+  /// set (unacked ∪ pending, by seq, ack/sack/retransmit/epoch stamps
+  /// scrubbed); per receiver channel the counterpart, cum and out-of-order
+  /// set. Restart compares the image of the frozen pre-crash state against
+  /// the snapshot+WAL reconstruction — a mismatch means replay diverged
+  /// (nondeterminism) and aborts loudly.
+  std::string ProtocolImage(SymbolId peer) const;
+
+  /// Replay mode: suppresses RTT sampling (replayed deliveries carry no
+  /// timing information).
+  void set_replaying(bool replaying) { replaying_ = replaying; }
+
  private:
   struct Unacked {
     Message copy;
@@ -171,6 +228,10 @@ class ReliableTransport {
   void Transmit(const ChannelKey& channel, SenderState& sender, Message& m,
                 uint64_t now);
   /// Erases acked entries (cumulative + SACK), sampling RTTs per Karn.
+  /// Also erases covered window-stalled pending entries — a live receiver
+  /// can never ack an untransmitted sequence number, so this only fires
+  /// during write-ahead-log replay, where an ack can replay before the
+  /// window drain that originally transmitted its target.
   void ApplyAck(SenderState& sender, const Message& m, uint64_t now);
   /// Bounded SACK block list covering the receiver's out-of-order set.
   std::vector<SackBlock> EncodeSack(const ReceiverState& receiver) const;
@@ -179,6 +240,16 @@ class ReliableTransport {
   TransportStats stats_;
   std::map<ChannelKey, SenderState> senders_;
   std::map<ChannelKey, ReceiverState> receivers_;
+  // Crash-restart state. epochs_: current incarnation per peer (absent =
+  // 0, the only value on a crash-free run — epoch stamps then stay 0 and
+  // the wire is byte-identical to the pre-crash-support transport).
+  // known_epoch_: highest epoch witnessed per directed channel, learned
+  // from every delivery (IsStale reference). down_: crashed peers whose
+  // frozen channels PollWire/NextDue skip.
+  std::map<SymbolId, uint64_t> epochs_;
+  std::map<ChannelKey, uint64_t> known_epoch_;
+  std::set<SymbolId> down_;
+  bool replaying_ = false;
 };
 
 }  // namespace dqsq::dist

@@ -84,6 +84,17 @@ class DsNode {
     return true;
   }
 
+  /// Reinstates state captured in a crash-restart snapshot (dist/snapshot.h).
+  /// A restarted peer resumes exactly the engagement/deficit/parent it had
+  /// at the recovery point, so the deferred ack to its tree parent is still
+  /// owed and the sender-side deficits it participates in stay balanced —
+  /// this is what keeps a restart from ack-underflowing the tree.
+  void RestoreState(bool engaged, uint64_t deficit, NodeId parent) {
+    engaged_ = engaged;
+    deficit_ = deficit;
+    parent_ = parent;
+  }
+
  private:
   bool engaged_;
   uint64_t deficit_ = 0;

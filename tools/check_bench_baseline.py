@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""Guard: the lossless E3 bench must stay byte-identical across commits.
+"""Guard: pinned bench reports must stay byte-identical across commits.
 
 The distributed runtime promises zero overhead on a perfect wire: with no
 fault plan the reliable-delivery shim is never engaged and every counter in
 BENCH_E3_distributed.json — message, tuple and fact counts, per-peer
 traffic, registry metrics — must match the committed baseline exactly.
+BENCH_E3_crash.json pins the crash-restart schedules the same way: the
+crash-free column must stay identical to the lossless E3 run, and the
+seeded crash schedules are fully deterministic, so checkpoint volume, WAL
+replay length and recovery counts are exact values, not ranges.
 Only wall-clock timing fields (wall_time_ns, ns-unit metrics) are excluded,
 since they vary run to run.
 
-Usage: check_bench_baseline.py <baseline.json> <candidate.json>
-Exits non-zero with a unified diff when the filtered documents differ.
+Usage: check_bench_baseline.py <baseline.json> <candidate.json> \
+           [<baseline2.json> <candidate2.json> ...]
+Exits non-zero with a unified diff when any filtered pair differs.
 """
 import difflib
 import json
@@ -30,16 +35,12 @@ def load_filtered(path):
     return doc
 
 
-def main(argv):
-    if len(argv) != 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    baseline_path, candidate_path = argv[1], argv[2]
+def check_pair(baseline_path, candidate_path):
     baseline = load_filtered(baseline_path)
     candidate = load_filtered(candidate_path)
     if baseline == candidate:
         print(f"bench baseline OK: {candidate_path} matches {baseline_path}")
-        return 0
+        return True
     diff = difflib.unified_diff(
         json.dumps(baseline, indent=1, sort_keys=True).splitlines(),
         json.dumps(candidate, indent=1, sort_keys=True).splitlines(),
@@ -55,7 +56,18 @@ def main(argv):
         "  DQSQ_BENCH_OUT_DIR=bench/baselines ./build/bench/bench_distributed",
         file=sys.stderr,
     )
-    return 1
+    return False
+
+
+def main(argv):
+    pairs = argv[1:]
+    if not pairs or len(pairs) % 2 != 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ok = True
+    for i in range(0, len(pairs), 2):
+        ok = check_pair(pairs[i], pairs[i + 1]) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
