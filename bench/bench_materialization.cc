@@ -4,6 +4,7 @@
 // magic-set and QSQ rewritings (materialize on demand), and the dedicated
 // BFHJ algorithm [8] (product unfolding). The paper's claim: QSQ == BFHJ,
 // both far below bottom-up.
+#include <chrono>
 #include <cstdio>
 
 #include "bench/bench_report.h"
@@ -16,19 +17,34 @@ using diagnosis::DiagnosisEngine;
 
 namespace {
 
+// Per-engine wall time accumulated across the whole workload sweep,
+// reported as `<engine>_ns` params. The `_ns` suffix marks them as timing
+// fields for tools/check_bench_baseline.py: exempt from the exact
+// comparison, bounded by --max-timing-ratio in CI.
+struct EngineTimes {
+  int64_t seminaive_ns = 0;
+  int64_t magic_ns = 0;
+  int64_t qsq_ns = 0;
+  int64_t bfhj_ns = 0;
+};
+
 void Row(const char* net_name, const petri::PetriNet& net,
-         const petri::AlarmSequence& alarms) {
+         const petri::AlarmSequence& alarms, EngineTimes& times) {
   struct Cell {
     size_t events = 0;
     size_t conds = 0;
     size_t total = 0;
     bool ok = false;
   };
-  auto run = [&](DiagnosisEngine engine) {
+  auto run = [&](DiagnosisEngine engine, int64_t& elapsed_ns) {
     diagnosis::DiagnosisOptions opts;
     opts.engine = engine;
     Cell cell;
+    auto start = std::chrono::steady_clock::now();
     auto result = Diagnose(net, alarms, opts);
+    elapsed_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
     if (result.ok()) {
       cell.events = result->trans_facts;
       cell.conds = result->places_facts;
@@ -37,10 +53,10 @@ void Row(const char* net_name, const petri::PetriNet& net,
     }
     return cell;
   };
-  Cell naive = run(DiagnosisEngine::kCentralSemiNaive);
-  Cell magic = run(DiagnosisEngine::kCentralMagic);
-  Cell qsq = run(DiagnosisEngine::kCentralQsq);
-  Cell bfhj = run(DiagnosisEngine::kBfhj);
+  Cell naive = run(DiagnosisEngine::kCentralSemiNaive, times.seminaive_ns);
+  Cell magic = run(DiagnosisEngine::kCentralMagic, times.magic_ns);
+  Cell qsq = run(DiagnosisEngine::kCentralQsq, times.qsq_ns);
+  Cell bfhj = run(DiagnosisEngine::kBfhj, times.bfhj_ns);
 
   // Theorem 4 as a live check: the node sets, not just counts.
   diagnosis::DiagnosisOptions qopts, bopts;
@@ -71,19 +87,25 @@ int main() {
   // The paper net with its loop (infinite unfolding), growing
   // observations generated from real runs.
   petri::PetriNet paper = petri::MakePaperNet(/*with_loop=*/true);
+  EngineTimes times;
   for (int n = 2; n <= 8; n += 2) {
     Rng rng(100 + n);
     auto run = petri::GenerateRun(paper, n, rng);
     DQSQ_CHECK_OK(run.status());
-    Row("paper", paper, run->observation);
+    Row("paper", paper, run->observation, times);
   }
 
   // Random telecom-style nets.
   for (uint64_t seed = 1; seed <= 3; ++seed) {
     for (int n = 2; n <= 6; n += 2) {
       auto w = bench::MakeDiagnosisWorkload(seed, /*peers=*/2, n);
-      Row(("rand" + std::to_string(seed)).c_str(), w.net, w.observation);
+      Row(("rand" + std::to_string(seed)).c_str(), w.net, w.observation,
+          times);
     }
   }
+  reporter.Param("central_seminaive_ns", times.seminaive_ns);
+  reporter.Param("central_magic_ns", times.magic_ns);
+  reporter.Param("central_qsq_ns", times.qsq_ns);
+  reporter.Param("bfhj_ns", times.bfhj_ns);
   return 0;
 }

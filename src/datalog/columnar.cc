@@ -1,0 +1,46 @@
+#include "datalog/columnar.h"
+
+#include <bit>
+
+namespace dqsq {
+
+void BuildRunIndex(std::span<const std::vector<TermId>> columns,
+                   size_t num_rows, uint32_t mask, RunIndex& index) {
+  // Phase 1: fold the masked columns into per-row key hashes, one
+  // contiguous column scan at a time (cache-friendly; the row-at-a-time
+  // alternative strides across all columns per row). The mask's set bits
+  // are walked directly — ascending column order, and no out-of-range
+  // shifts when the arity exceeds 32.
+  std::vector<uint64_t> hashes(num_rows, 0xcbf29ce484222325ULL);
+  for (uint32_t m = mask; m != 0; m &= m - 1) {
+    const TermId* col =
+        columns[static_cast<uint32_t>(std::countr_zero(m))].data();
+    for (size_t row = 0; row < num_rows; ++row) {
+      hashes[row] = (hashes[row] ^ col[row]) * 0x100000001b3ULL;
+    }
+  }
+  // Phase 2: avalanche and append each row to its key's run in ascending
+  // row order, so every run is an ascending sequence sliceable against the
+  // semi-naive delta window.
+  auto rows_equal = [&](uint32_t a, uint32_t b) {
+    for (uint32_t m = mask; m != 0; m &= m - 1) {
+      const std::vector<TermId>& col =
+          columns[static_cast<uint32_t>(std::countr_zero(m))];
+      if (col[a] != col[b]) return false;
+    }
+    return true;
+  };
+  index.ReserveRuns(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    uint64_t h = hashes[row];
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 29;
+    uint32_t r32 = static_cast<uint32_t>(row);
+    index.Add(h, r32, [&](uint32_t first_row) {
+      return rows_equal(first_row, r32);
+    });
+  }
+}
+
+}  // namespace dqsq

@@ -1,0 +1,266 @@
+// Columnar building blocks for Relation (see DESIGN.md, "Columnar relation
+// storage"): a flat open-addressing dedup table over full-tuple hashes and a
+// per-mask secondary index that stores, for every distinct key, the run of
+// row ids carrying that key. Both structures are plain flat arrays — no
+// heap-allocated keys, no per-node allocation — so steady-state probing and
+// duplicate detection touch only contiguous memory.
+//
+// The run index keeps each key's rows as a chain of fixed-size chunks in a
+// shared pool, appended in insertion order. Row ids within a run are
+// therefore ascending, which is what lets callers slice a run against the
+// semi-naive delta window [lo, hi) and preserves the evaluator's historical
+// emission order exactly.
+#ifndef DQSQ_DATALOG_COLUMNAR_H_
+#define DQSQ_DATALOG_COLUMNAR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datalog/term.h"
+
+namespace dqsq {
+
+/// Hash of a tuple of term ids (FNV-1a over the 32-bit values with a final
+/// avalanche). Shared by the dedup table and the run indices.
+inline uint64_t HashTermSpan(std::span<const TermId> tuple) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (TermId v : tuple) h = (h ^ v) * 0x100000001b3ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return h;
+}
+
+/// Open-addressing set of row ids keyed by full-tuple hash. The table
+/// stores (row, hash32) pairs only; tuple equality is delegated to the
+/// caller (which owns the tuple storage), so no keys are ever copied onto
+/// the heap.
+class FlatTupleSet {
+ public:
+  static constexpr uint32_t kNotFound = 0xffffffffu;
+
+  /// Row previously inserted under `hash` whose tuple satisfies `eq`, or
+  /// kNotFound. `eq(row)` must compare the candidate row against the key.
+  template <typename Eq>
+  uint32_t Find(uint64_t hash, Eq&& eq) const {
+    if (slots_.empty()) return kNotFound;
+    const uint32_t h32 = Fold(hash);
+    size_t mask = slots_.size() - 1;
+    for (size_t i = h32 & mask;; i = (i + 1) & mask) {
+      const Slot& slot = slots_[i];
+      if (slot.row == kEmpty) return kNotFound;
+      if (slot.hash == h32 && eq(slot.row)) return slot.row;
+    }
+  }
+
+  /// Records `row` under `hash`. The caller has already established the
+  /// tuple is absent. Grows (by doubling) past 5/8 load.
+  void Insert(uint64_t hash, uint32_t row) {
+    if ((size_ + 1) * 8 > slots_.size() * 5) Grow();
+    Place(Fold(hash), row);
+    ++size_;
+  }
+
+  /// Single-probe find-or-insert: records `row` under `hash` unless a row
+  /// satisfying `eq` is already present. Returns true if inserted (the
+  /// dedup hot path: one probe sequence instead of Find-then-Insert).
+  template <typename Eq>
+  bool InsertIfAbsent(uint64_t hash, uint32_t row, Eq&& eq) {
+    if ((size_ + 1) * 8 > slots_.size() * 5) Grow();
+    const uint32_t h32 = Fold(hash);
+    size_t mask = slots_.size() - 1;
+    for (size_t i = h32 & mask;; i = (i + 1) & mask) {
+      Slot& slot = slots_[i];
+      if (slot.row == kEmpty) {
+        slot = Slot{row, h32};
+        ++size_;
+        return true;
+      }
+      if (slot.hash == h32 && eq(slot.row)) return false;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+  void Reserve(size_t rows) {
+    size_t cap = 16;
+    while (rows * 8 > cap * 5) cap *= 2;
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+  struct Slot {
+    uint32_t row = kEmpty;
+    uint32_t hash = 0;
+  };
+
+  static uint32_t Fold(uint64_t hash) {
+    return static_cast<uint32_t>(hash ^ (hash >> 32));
+  }
+
+  void Place(uint32_t h32, uint32_t row) {
+    size_t mask = slots_.size() - 1;
+    size_t i = h32 & mask;
+    while (slots_[i].row != kEmpty) i = (i + 1) & mask;
+    slots_[i] = Slot{row, h32};
+  }
+
+  void Grow() { Rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+  void Rehash(size_t cap) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(cap, Slot{});
+    for (const Slot& slot : old) {
+      if (slot.row != kEmpty) Place(slot.hash, slot.row);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t size_ = 0;
+};
+
+/// Secondary index for one column mask: maps a key (the fixed column
+/// values) to the run of row ids carrying it. Runs live in a shared chunk
+/// pool; the key itself is never stored — lookups compare against the
+/// run's first row, whose columns spell the key out.
+class RunIndex {
+ public:
+  static constexpr uint32_t kNoRun = 0xffffffffu;
+
+  /// Run whose key hashes to `hash` and satisfies `eq(first_row)`, or
+  /// kNoRun.
+  template <typename Eq>
+  uint32_t FindRun(uint64_t hash, Eq&& eq) const {
+    if (slots_.empty()) return kNoRun;
+    const uint32_t h32 = static_cast<uint32_t>(hash ^ (hash >> 32));
+    size_t mask = slots_.size() - 1;
+    for (size_t i = h32 & mask;; i = (i + 1) & mask) {
+      uint32_t run = slots_[i];
+      if (run == kNoRun) return kNoRun;
+      if (runs_[run].hash == h32 && eq(runs_[run].first_row)) return run;
+    }
+  }
+
+  /// Appends `row` to the run of its key (`hash` + `eq`), creating the run
+  /// on first sight. Rows must be appended in ascending order (they are:
+  /// the caller indexes an insertion-ordered relation).
+  template <typename Eq>
+  void Add(uint64_t hash, uint32_t row, Eq&& eq) {
+    uint32_t run = FindRun(hash, eq);
+    if (run == kNoRun) {
+      run = NewRun(hash, row);
+    }
+    AppendToRun(run, row);
+  }
+
+  /// Appends the run's row ids intersected with [lo, hi) to `out`, in
+  /// ascending order. Returns the number of rows appended. Semi-naive
+  /// delta probes window the tail of long runs, so whole chunks below the
+  /// window are skipped with one comparison and runs entirely outside the
+  /// window (the common "key exists but has no delta rows" case) are
+  /// rejected without touching the chunk pool at all.
+  size_t CopyRun(uint32_t run, uint32_t lo, uint32_t hi,
+                 std::vector<uint32_t>& out) const {
+    const Run& r = runs_[run];
+    if (r.last_row < lo || r.first_row >= hi) return 0;
+    size_t before = out.size();
+    for (uint32_t c = r.head; c != kNoChunk; c = chunks_[c].next) {
+      const Chunk& chunk = chunks_[c];
+      if (chunk.rows[chunk.used - 1] < lo) continue;  // chunk below window
+      for (uint32_t i = 0; i < chunk.used; ++i) {
+        uint32_t row = chunk.rows[i];
+        if (row < lo) continue;
+        if (row >= hi) return out.size() - before;
+        out.push_back(row);
+      }
+    }
+    return out.size() - before;
+  }
+
+  size_t num_runs() const { return runs_.size(); }
+
+  /// Pre-sizes the slot table for up to `keys` distinct keys (bulk build).
+  void ReserveRuns(size_t keys) {
+    size_t cap = slots_.empty() ? 16 : slots_.size();
+    while ((keys + 1) * 4 > cap * 3) cap *= 2;
+    if (cap > slots_.size()) Rehash(cap);
+  }
+
+ private:
+  static constexpr uint32_t kNoChunk = 0xffffffffu;
+  // 14 rows + next + used = 16 u32 = one 64-byte line per chunk.
+  static constexpr uint32_t kChunkRows = 14;
+  struct Run {
+    uint32_t head;
+    uint32_t tail;
+    uint32_t count;
+    uint32_t first_row;
+    uint32_t last_row;
+    uint32_t hash;
+  };
+  struct Chunk {
+    uint32_t rows[kChunkRows];
+    uint32_t next;
+    uint32_t used;
+  };
+
+  uint32_t NewRun(uint64_t hash, uint32_t first_row) {
+    const uint32_t h32 = static_cast<uint32_t>(hash ^ (hash >> 32));
+    if ((runs_.size() + 1) * 4 > slots_.size() * 3) Grow();
+    uint32_t run = static_cast<uint32_t>(runs_.size());
+    runs_.push_back(Run{kNoChunk, kNoChunk, 0, first_row, first_row, h32});
+    size_t mask = slots_.size() - 1;
+    size_t i = h32 & mask;
+    while (slots_[i] != kNoRun) i = (i + 1) & mask;
+    slots_[i] = run;
+    return run;
+  }
+
+  void AppendToRun(uint32_t run, uint32_t row) {
+    Run& r = runs_[run];
+    if (r.tail == kNoChunk || chunks_[r.tail].used == kChunkRows) {
+      uint32_t c = static_cast<uint32_t>(chunks_.size());
+      chunks_.push_back(Chunk{{}, kNoChunk, 0});
+      if (r.tail == kNoChunk) {
+        r.head = c;
+      } else {
+        chunks_[r.tail].next = c;
+      }
+      r.tail = c;
+    }
+    Chunk& chunk = chunks_[r.tail];
+    chunk.rows[chunk.used++] = row;
+    r.last_row = row;
+    ++r.count;
+  }
+
+  void Grow() { Rehash(slots_.empty() ? 16 : slots_.size() * 2); }
+
+  void Rehash(size_t cap) {
+    slots_.assign(cap, kNoRun);
+    size_t mask = cap - 1;
+    for (uint32_t run = 0; run < runs_.size(); ++run) {
+      size_t i = runs_[run].hash & mask;
+      while (slots_[i] != kNoRun) i = (i + 1) & mask;
+      slots_[i] = run;
+    }
+  }
+
+  std::vector<uint32_t> slots_;  // open addressing: run id or kNoRun
+  std::vector<Run> runs_;
+  std::vector<Chunk> chunks_;
+};
+
+/// Bulk-builds `index` for `mask` over the first `num_rows` rows of
+/// `columns` (struct-of-arrays, one vector per column). A single columnar
+/// pass per masked column folds the key hashes, then rows are appended to
+/// their runs in ascending order — the exact state incremental maintenance
+/// via RunIndex::Add would have produced.
+void BuildRunIndex(std::span<const std::vector<TermId>> columns,
+                   size_t num_rows, uint32_t mask, RunIndex& index);
+
+}  // namespace dqsq
+
+#endif  // DQSQ_DATALOG_COLUMNAR_H_

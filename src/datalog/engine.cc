@@ -31,6 +31,9 @@ std::string StrategyName(Strategy strategy) {
 void CopyFacts(const Database& src, Database& dst) {
   for (const RelId& rel : src.Relations()) {
     const Relation* r = src.Find(rel);
+    // Only materialize non-empty relations in dst (empty ones must stay
+    // absent: Relations() feeds SaveState, which is byte-stability pinned).
+    if (r->size() > 0) dst.GetOrCreate(rel).Reserve(r->size());
     for (size_t i = 0; i < r->size(); ++i) dst.Insert(rel, r->Row(i));
   }
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "datalog/join_kernel.h"
 
 namespace dqsq {
 
@@ -12,13 +13,16 @@ namespace {
 
 // Evaluation of one program over one database. Semi-naive bookkeeping is
 // row-count based: each relation's rows appended during round r form the
-// delta consumed in round r+1.
-class Evaluator {
+// delta consumed in round r+1. Rule bodies run through the batched join
+// kernel (join_kernel.h); this class supplies the snapshot row ranges and
+// the head emission.
+class Evaluator : public JoinHost {
  public:
   Evaluator(const Program& program, Database& db, const EvalOptions& options)
       : program_(program), db_(db), options_(options) {}
 
   StatusOr<EvalStats> Run() {
+    initial_facts_ = db_.TotalFacts();
     Status status = RunImpl();
     FlushMetrics();
     if (!status.ok()) return status;
@@ -26,6 +30,29 @@ class Evaluator {
   }
 
  private:
+  struct Snapshot {
+    const Relation* relation = nullptr;  // stable: map nodes never move
+    size_t base = 0;  // rows before the previous round
+    size_t cur = 0;   // rows at the start of this round
+  };
+
+  // Cached pointer to a body atom's snapshot entry. `gen` records the
+  // relation-map generation of the last failed lookup, so atoms over
+  // relations that never materialize (common in rewrite output) cost one
+  // comparison per round instead of a hash lookup.
+  struct SnapRef {
+    const Snapshot* snap = nullptr;
+    size_t gen = 0;
+  };
+
+  // Per-execution kernel context: where the delta is placed in the body
+  // (body.size() = full snapshot scan, used by naive mode and round 0),
+  // plus the plan's snapshot-pointer cache (see EvalRule).
+  struct EvalCtx {
+    size_t delta_pos;
+    std::vector<SnapRef>* snaps;
+  };
+
   Status RunImpl() {
     // Stratified evaluation: rules of stratum 0, 1, ... to their own
     // fixpoints in order, so every negated relation is complete before it
@@ -34,12 +61,13 @@ class Evaluator {
                           StratifyProgram(program_, db_.ctx()));
     uint32_t max_stratum = 0;
     for (uint32_t s : strata) max_stratum = std::max(max_stratum, s);
+    std::vector<const Rule*> layer;
     for (uint32_t stratum = 0; stratum <= max_stratum; ++stratum) {
-      Program layer;
+      layer.clear();
       for (size_t i = 0; i < program_.rules.size(); ++i) {
-        if (strata[i] == stratum) layer.rules.push_back(program_.rules[i]);
+        if (strata[i] == stratum) layer.push_back(&program_.rules[i]);
       }
-      if (layer.rules.empty()) continue;
+      if (layer.empty()) continue;
       DQSQ_RETURN_IF_ERROR(RunLayer(layer));
     }
     return Status::Ok();
@@ -66,10 +94,27 @@ class Evaluator {
         .Set(static_cast<int64_t>(db_.TotalFacts()));
   }
 
-  Status RunLayer(const Program& layer) {
+  Status RunLayer(const std::vector<const Rule*>& layer) {
+    // Compile each rule's body once per layer; the plans ground every
+    // constant pattern up front, so the per-row loops never re-intern.
+    std::vector<RulePlan> plans;
+    plans.reserve(layer.size());
+    size_t max_atoms = 0;
+    for (const Rule* rule : layer) {
+      plans.push_back(CompileRulePlan(*rule, {}, db_.ctx().arena()));
+      max_atoms = std::max(max_atoms, rule->body.size());
+    }
+    if (scratch_.levels.size() < max_atoms) scratch_.levels.resize(max_atoms);
+    // Per-plan caches of snapshot entry pointers, one per body atom.
+    std::vector<std::vector<SnapRef>> plan_snaps(plans.size());
+    for (size_t i = 0; i < plans.size(); ++i) {
+      plan_snaps[i].assign(plans[i].atoms.size(), SnapRef{});
+    }
+
     // Snapshot maps: base = size at start of previous round (old rows),
     // cur = size at start of this round. Delta = [base, cur).
     snapshots_.clear();
+    known_relations_ = 0;
     for (size_t round = 0;; ++round) {
       if (round >= options_.max_rounds) {
         CountMetric("datalog.eval.budget_exhausted", 1,
@@ -79,35 +124,36 @@ class Evaluator {
       ++stats_.rounds;
       TakeSnapshot();
       size_t before = stats_.facts_derived;
-      for (const Rule& rule : layer.rules) {
-        Status s = EvalRule(rule, round);
+      for (size_t i = 0; i < plans.size(); ++i) {
+        Status s = EvalRule(plans[i], plan_snaps[i], round);
         if (!s.ok()) return s;
+      }
+      if (options_.round_hook != nullptr) {
+        options_.round_hook(options_.round_hook_ctx, round);
       }
       if (stats_.facts_derived == before) break;  // fixpoint
     }
     return Status::Ok();
   }
 
-  struct Snapshot {
-    size_t base = 0;  // rows before the previous round
-    size_t cur = 0;   // rows at the start of this round
-  };
-
   void TakeSnapshot() {
     for (auto& [rel, snap] : snapshots_) {
       snap.base = snap.cur;
-      const Relation* r = db_.Find(rel);
-      snap.cur = r == nullptr ? 0 : r->size();
+      snap.cur = snap.relation->size();
       delta_rows_ += snap.cur - snap.base;
     }
-    // Relations that appeared for the first time.
-    for (const RelId& rel : db_.Relations()) {
-      if (!snapshots_.contains(rel)) {
-        const Relation* r = db_.Find(rel);
-        size_t size = r == nullptr ? 0 : r->size();
-        snapshots_[rel] = Snapshot{0, size};
-        delta_rows_ += size;
+    // Relations that appeared since the last scan. Relations are only ever
+    // added during evaluation, so a stable map size means nothing is new
+    // and the full walk (hash lookup per relation per round) is skipped.
+    if (db_.relation_map().size() != known_relations_) {
+      for (const auto& [rel, relation] : db_.relation_map()) {
+        if (!snapshots_.contains(rel)) {
+          snapshots_[rel] = Snapshot{&relation, 0, relation.size()};
+          delta_rows_ += relation.size();
+        }
       }
+      known_relations_ = db_.relation_map().size();
+      ++snap_gen_;
     }
   }
 
@@ -116,145 +162,150 @@ class Evaluator {
     return it == snapshots_.end() ? Snapshot{} : it->second;
   }
 
-  Status EvalRule(const Rule& rule, size_t round) {
+  // Pointer into snapshots_ for `rel`, or nullptr while the relation does
+  // not exist yet. Entry addresses are stable (node-based map, entries
+  // never erased within a layer), so plans cache them: the steady-state
+  // delta checks then cost a pointer read instead of a hash lookup per
+  // rule body atom per round.
+  const Snapshot* FindSnapshot(const RelId& rel) const {
+    auto it = snapshots_.find(rel);
+    return it == snapshots_.end() ? nullptr : &it->second;
+  }
+
+  // Cached snapshot pointer for body position `pos`, resolving (and
+  // memoizing) on first sight of the relation; while the relation is
+  // absent, re-resolves only after the relation map has grown.
+  Snapshot SnapAt(const RulePlan& plan, std::vector<SnapRef>& snaps,
+                  size_t pos) const {
+    SnapRef& ref = snaps[pos];
+    if (ref.snap == nullptr) {
+      if (ref.gen == snap_gen_) return Snapshot{};
+      ref.snap = FindSnapshot(plan.atoms[pos].atom->rel);
+      ref.gen = snap_gen_;
+      if (ref.snap == nullptr) return Snapshot{};
+    }
+    return *ref.snap;
+  }
+
+  Status EvalRule(const RulePlan& plan, std::vector<SnapRef>& snaps,
+                  size_t round) {
+    const Rule& rule = *plan.rule;
+    // The head relation is looked up lazily on first emission (an eager
+    // GetOrCreate would surface empty relations in Relations()/SaveState
+    // and break distributed byte stability), then cached for the round —
+    // node addresses in the relation map are stable across inserts.
+    head_rel_ = nullptr;
     if (rule.body.empty()) {
       // Facts (and rules whose body is only ground negations/diseqs) fire
       // once, in round 0 of their stratum.
       if (round > 0) return Status::Ok();
-      Substitution subst(rule.num_vars, kNoTerm);
-      if (!CheckDiseqs(rule, subst)) return Status::Ok();
-      if (!CheckNegatives(rule, subst)) return Status::Ok();
-      return EmitHead(rule, subst);
+      scratch_.Prepare(rule.num_vars, 0);
+      if (!CheckDiseqs(rule)) return Status::Ok();
+      if (!CheckNegatives(rule)) return Status::Ok();
+      return EmitHead(rule);
     }
     if (!options_.seminaive || round == 0) {
       // Full join over the snapshot extents (round 0 seeds the deltas).
-      Substitution subst(rule.num_vars, kNoTerm);
-      std::vector<VarId> trail;
-      return JoinFrom(rule, 0, /*delta_pos=*/rule.body.size(), subst, trail);
+      scratch_.Prepare(rule.num_vars, rule.body.size());
+      EvalCtx ctx{rule.body.size(), &snaps};
+      return ExecuteRulePlan(plan, db_.ctx().arena(), *this, &ctx, scratch_,
+                             &stats_.join_probes);
     }
     // Semi-naive: one pass per body position that has a non-empty delta.
     for (size_t d = 0; d < rule.body.size(); ++d) {
-      Snapshot snap = SnapshotFor(rule.body[d].rel);
+      Snapshot snap = SnapAt(plan, snaps, d);
       if (snap.cur == snap.base) continue;
-      Substitution subst(rule.num_vars, kNoTerm);
-      std::vector<VarId> trail;
-      DQSQ_RETURN_IF_ERROR(JoinFrom(rule, 0, d, subst, trail));
+      scratch_.Prepare(rule.num_vars, rule.body.size());
+      EvalCtx ctx{d, &snaps};
+      DQSQ_RETURN_IF_ERROR(ExecuteRulePlan(plan, db_.ctx().arena(), *this,
+                                           &ctx, scratch_,
+                                           &stats_.join_probes));
     }
     return Status::Ok();
   }
 
-  // Row range an atom at position `pos` may scan when the delta is placed at
-  // `delta_pos`: positions before the delta see only old rows, the delta
-  // position sees exactly the delta, later positions see everything up to
-  // the round snapshot. delta_pos == body.size() means "full snapshot scan".
-  std::pair<size_t, size_t> RangeFor(const Atom& atom, size_t pos,
-                                     size_t delta_pos) const {
-    Snapshot snap = SnapshotFor(atom.rel);
-    if (pos < delta_pos) return {0, snap.base};  // old rows only
-    if (pos == delta_pos) return {snap.base, snap.cur};
-    return {0, snap.cur};
-  }
+  // Snapshot ranges depend only on (plan, pos, delta_pos), all fixed for
+  // one kernel execution: let the kernel resolve each atom once and cache.
+  bool SourcesAreStatic() const override { return true; }
 
-  Status JoinFrom(const Rule& rule, size_t pos, size_t delta_pos,
-                  Substitution& subst, std::vector<VarId>& trail) {
-    if (pos == rule.body.size()) {
-      if (!CheckDiseqs(rule, subst)) return Status::Ok();
-      if (!CheckNegatives(rule, subst)) return Status::Ok();
-      ++stats_.rule_firings;
-      return EmitHead(rule, subst);
-    }
-    const Atom& atom = rule.body[pos];
+  // Row range an atom at position `pos` may scan when the delta is placed
+  // at `delta_pos`: positions before the delta see only old rows, the
+  // delta position sees exactly the delta, later positions see everything
+  // up to the round snapshot. delta_pos == body.size() = full snapshot.
+  Status ResolveSource(const RulePlan& plan, size_t pos, const void* ctx,
+                       std::span<const TermId> /*key*/,
+                       Source* out) override {
+    const EvalCtx& ec = *static_cast<const EvalCtx*>(ctx);
+    Snapshot snap = SnapAt(plan, *ec.snaps, pos);
     size_t lo, hi;
-    if (delta_pos == rule.body.size()) {
-      Snapshot snap = SnapshotFor(atom.rel);
+    if (pos < ec.delta_pos) {
       lo = 0;
+      hi = snap.base;  // old rows only
+    } else if (pos == ec.delta_pos) {
+      lo = snap.base;
       hi = snap.cur;
     } else {
-      std::tie(lo, hi) = RangeFor(atom, pos, delta_pos);
+      lo = 0;
+      hi = snap.cur;
     }
-    if (lo >= hi) return Status::Ok();
-    Relation* rel = db_.FindMutable(atom.rel);
-    if (rel == nullptr) return Status::Ok();
-
-    // Columns whose pattern is fully ground under the current bindings can
-    // drive an index probe.
-    uint32_t mask = 0;
-    std::vector<TermId> key;
-    if (atom.args.size() <= 32) {
-      for (size_t c = 0; c < atom.args.size(); ++c) {
-        TermId t = TryGroundPattern(atom.args[c], subst, db_.ctx().arena());
-        if (t != kNoTerm) {
-          mask |= (1u << c);
-          key.push_back(t);
-        }
-      }
+    if (ec.delta_pos == plan.rule->body.size()) {
+      lo = 0;
+      hi = snap.cur;
     }
-
-    auto try_row = [&](uint32_t row) -> Status {
-      ++stats_.join_probes;
-      auto values = rel->Row(row);
-      size_t mark = trail.size();
-      bool ok = true;
-      for (size_t c = 0; c < atom.args.size(); ++c) {
-        if (!MatchPattern(atom.args[c], values[c], db_.ctx().arena(), subst,
-                          trail)) {
-          ok = false;
-          break;
-        }
-      }
-      Status s = Status::Ok();
-      if (ok) s = JoinFrom(rule, pos + 1, delta_pos, subst, trail);
-      UndoTrail(subst, trail, mark);
-      return s;
-    };
-
-    if (mask != 0) {
-      // Probe returns row ids over the whole relation; filter to the range.
-      // Copy: recursion may insert into this relation and grow the index
-      // bucket vector underneath us.
-      std::vector<uint32_t> rows = rel->Probe(mask, key);
-      for (uint32_t row : rows) {
-        if (row < lo || row >= hi) continue;
-        DQSQ_RETURN_IF_ERROR(try_row(row));
-      }
-    } else {
-      for (size_t row = lo; row < hi; ++row) {
-        DQSQ_RETURN_IF_ERROR(try_row(static_cast<uint32_t>(row)));
-      }
-    }
+    // The snapshot already resolved the relation (db_ is mutable here; the
+    // map hands out const refs only through relation_map()).
+    out->rel = lo < hi ? const_cast<Relation*>(snap.relation) : nullptr;
+    out->lo = static_cast<uint32_t>(lo);
+    out->hi = static_cast<uint32_t>(hi);
     return Status::Ok();
+  }
+
+  Status OnMatch(const RulePlan& plan, const void* /*ctx*/,
+                 JoinScratch& /*scratch*/) override {
+    const Rule& rule = *plan.rule;
+    if (!CheckDiseqs(rule)) return Status::Ok();
+    if (!CheckNegatives(rule)) return Status::Ok();
+    ++stats_.rule_firings;
+    return EmitHead(rule);
   }
 
   // Safe, stratified negation: the negated atom is ground here and its
   // relation's stratum is already complete.
-  bool CheckNegatives(const Rule& rule, const Substitution& subst) {
+  bool CheckNegatives(const Rule& rule) {
     for (const Atom& atom : rule.negative) {
-      std::vector<TermId> tuple;
-      tuple.reserve(atom.args.size());
+      scratch_.tuple.clear();
       for (const Pattern& p : atom.args) {
-        tuple.push_back(GroundPattern(p, subst, db_.ctx().arena()));
+        scratch_.tuple.push_back(GroundPattern(p, scratch_.subst,
+                                               db_.ctx().arena(),
+                                               scratch_.ground_stack));
       }
       const Relation* rel = db_.Find(atom.rel);
-      if (rel != nullptr && rel->Contains(tuple)) return false;
+      if (rel != nullptr && rel->Contains(scratch_.tuple)) return false;
     }
     return true;
   }
 
-  bool CheckDiseqs(const Rule& rule, const Substitution& subst) {
+  bool CheckDiseqs(const Rule& rule) {
     for (const Diseq& d : rule.diseqs) {
-      TermId lhs = TryGroundPattern(d.lhs, subst, db_.ctx().arena());
-      TermId rhs = TryGroundPattern(d.rhs, subst, db_.ctx().arena());
+      TermId lhs = TryGroundPattern(d.lhs, scratch_.subst, db_.ctx().arena(),
+                                    scratch_.ground_stack);
+      TermId rhs = TryGroundPattern(d.rhs, scratch_.subst, db_.ctx().arena(),
+                                    scratch_.ground_stack);
       DQSQ_DCHECK(lhs != kNoTerm && rhs != kNoTerm);
       if (lhs == rhs) return false;
     }
     return true;
   }
 
-  Status EmitHead(const Rule& rule, const Substitution& subst) {
-    std::vector<TermId> tuple;
-    tuple.reserve(rule.head.args.size());
+  Status EmitHead(const Rule& rule) {
+    scratch_.tuple.clear();
     for (const Pattern& p : rule.head.args) {
-      TermId t = GroundPattern(p, subst, db_.ctx().arena());
+      // Plain head variables dominate; skip the grounding walk for them.
+      TermId t = p.kind() == Pattern::Kind::kVar
+                     ? scratch_.subst[p.var()]
+                     : GroundPattern(p, scratch_.subst, db_.ctx().arena(),
+                                     scratch_.ground_stack);
+      DQSQ_DCHECK(t != kNoTerm);  // range restriction: head vars are bound
       if (options_.max_term_depth > 0 &&
           db_.ctx().arena().Depth(t) > options_.max_term_depth) {
         if (options_.depth_policy == EvalOptions::DepthPolicy::kError) {
@@ -265,11 +316,14 @@ class Evaluator {
         ++stats_.depth_pruned;
         return Status::Ok();
       }
-      tuple.push_back(t);
+      scratch_.tuple.push_back(t);
     }
-    if (db_.Insert(rule.head.rel, tuple)) {
+    if (head_rel_ == nullptr) head_rel_ = &db_.GetOrCreate(rule.head.rel);
+    if (head_rel_->Insert(scratch_.tuple)) {
       ++stats_.facts_derived;
-      if (db_.TotalFacts() > options_.max_facts) {
+      // TotalFacts() == initial_facts_ + facts_derived: this evaluator is
+      // the only writer, and every successful insert is counted above.
+      if (initial_facts_ + stats_.facts_derived > options_.max_facts) {
         CountMetric("datalog.eval.budget_exhausted", 1,
                     {{"budget", "facts"}});
         return ResourceExhaustedError("evaluation exceeded max_facts");
@@ -282,8 +336,13 @@ class Evaluator {
   Database& db_;
   const EvalOptions& options_;
   EvalStats stats_;
+  size_t initial_facts_ = 0;       // db size when evaluation began
+  Relation* head_rel_ = nullptr;   // per-EvalRule cache (lazy)
+  size_t known_relations_ = 0;     // relation-map size at last full scan
+  size_t snap_gen_ = 1;            // bumps when new relations appear
   size_t delta_rows_ = 0;  // rows that entered some round's delta
   std::unordered_map<RelId, Snapshot, RelIdHash> snapshots_;
+  JoinScratch scratch_;
 };
 
 }  // namespace

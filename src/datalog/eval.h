@@ -29,6 +29,12 @@ struct EvalOptions {
   DepthPolicy depth_policy = DepthPolicy::kPrune;
   /// Semi-naive (delta-driven) or naive (full re-join each round).
   bool seminaive = true;
+  /// Test hook invoked after each fixpoint round's rule evaluation (before
+  /// the fixpoint check), with the layer-local round number. Raw function
+  /// pointer + context so installing it costs no allocation; the
+  /// steady-state zero-allocation test keys on this.
+  void (*round_hook)(void* ctx, size_t round) = nullptr;
+  void* round_hook_ctx = nullptr;
 };
 
 /// Per-call evaluation counters. Every field is also accumulated into the

@@ -147,6 +147,43 @@ TermId GroundPattern(const Pattern& pattern, const Substitution& subst,
 }
 
 TermId TryGroundPattern(const Pattern& pattern, const Substitution& subst,
+                        TermArena& arena, std::vector<TermId>& stack) {
+  switch (pattern.kind()) {
+    case Pattern::Kind::kVar: {
+      VarId v = pattern.var();
+      if (v >= subst.size()) return kNoTerm;
+      return subst[v];
+    }
+    case Pattern::Kind::kConst:
+      return arena.MakeConstant(pattern.symbol());
+    case Pattern::Kind::kApp: {
+      size_t base = stack.size();
+      for (const Pattern& a : pattern.args()) {
+        TermId t = TryGroundPattern(a, subst, arena, stack);
+        if (t == kNoTerm) {
+          stack.resize(base);
+          return kNoTerm;
+        }
+        stack.push_back(t);
+      }
+      TermId r = arena.MakeApp(
+          pattern.symbol(),
+          std::span<const TermId>(stack.data() + base, stack.size() - base));
+      stack.resize(base);
+      return r;
+    }
+  }
+  return kNoTerm;
+}
+
+TermId GroundPattern(const Pattern& pattern, const Substitution& subst,
+                     TermArena& arena, std::vector<TermId>& stack) {
+  TermId t = TryGroundPattern(pattern, subst, arena, stack);
+  DQSQ_CHECK_NE(t, kNoTerm);
+  return t;
+}
+
+TermId TryGroundPattern(const Pattern& pattern, const Substitution& subst,
                         TermArena& arena) {
   switch (pattern.kind()) {
     case Pattern::Kind::kVar: {

@@ -76,6 +76,14 @@ TermId GroundPattern(const Pattern& pattern, const Substitution& subst,
 TermId TryGroundPattern(const Pattern& pattern, const Substitution& subst,
                         TermArena& arena);
 
+/// Allocation-free variants for the join hot path: nested application
+/// arguments are staged in `stack` (a reusable buffer, restored to its
+/// entry size before returning) instead of a per-call vector.
+TermId TryGroundPattern(const Pattern& pattern, const Substitution& subst,
+                        TermArena& arena, std::vector<TermId>& stack);
+TermId GroundPattern(const Pattern& pattern, const Substitution& subst,
+                     TermArena& arena, std::vector<TermId>& stack);
+
 }  // namespace dqsq
 
 #endif  // DQSQ_DATALOG_PATTERN_H_

@@ -2,17 +2,19 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "datalog/adornment.h"
+#include "datalog/join_kernel.h"
 #include "datalog/qsq_rewrite.h"
 
 namespace dqsq {
 
 namespace {
 
-class QsqrEngine {
+class QsqrEngine : public JoinHost {
  public:
   QsqrEngine(const Program& program, Database& db,
              const EvalOptions& options)
@@ -40,6 +42,7 @@ class QsqrEngine {
     // tables that may still be growing, so re-process every input until
     // nothing changes (the classical QSQR iteration).
     QsqrResult result;
+    Tuple row_copy;
     for (;;) {
       if (++result.passes > options_.max_rounds) {
         return ResourceExhaustedError("QSQR exceeded max_rounds");
@@ -51,9 +54,11 @@ class QsqrEngine {
         const Relation* in = db_.Find(pat.input);
         if (in == nullptr) continue;
         for (size_t row = 0; row < in->size(); ++row) {
+          // Copy the row: recursive processing can grow the input relation
+          // and reallocate the storage under the span.
           auto r = in->Row(row);
-          DQSQ_RETURN_IF_ERROR(ProcessInput(
-              pat, std::vector<TermId>(r.begin(), r.end())));
+          row_copy.assign(r.begin(), r.end());
+          DQSQ_RETURN_IF_ERROR(ProcessInput(pat, row_copy));
         }
       }
       if (!changed_) break;
@@ -103,7 +108,7 @@ class QsqrEngine {
   /// Registers the call pattern (idempotent) and inserts one input tuple.
   /// New tuples are processed immediately (recursive QSQ).
   Status AddInput(const RelId& rel, const Adornment& adornment,
-                  const std::vector<TermId>& tuple) {
+                  std::span<const TermId> tuple) {
     PatternKey key{rel.pred, rel.peer, adornment};
     auto it = pattern_by_key_.find(key);
     if (it == pattern_by_key_.end()) {
@@ -131,114 +136,108 @@ class QsqrEngine {
     return Status::Ok();
   }
 
+  /// The compiled body plan for `rule_index` called with `adornment` (the
+  /// initial bound set is the variables of the adorned head positions).
+  const RulePlan& PlanFor(size_t rule_index, const Adornment& adornment) {
+    auto key = std::make_pair(rule_index, adornment);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) return it->second;
+    const Rule& rule = program_.rules[rule_index];
+    std::vector<VarId> initial_bound;
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      if (i < adornment.size() && adornment[i]) {
+        rule.head.args[i].CollectVars(&initial_bound);
+      }
+    }
+    return plans_
+        .emplace(std::move(key),
+                 CompileRulePlan(rule, initial_bound, db_.ctx().arena()))
+        .first->second;
+  }
+
   Status ProcessInput(const Pattern_& pattern,
-                      const std::vector<TermId>& input) {
+                      std::span<const TermId> input) {
     auto rules = rules_by_head_.find({pattern.rel.pred, pattern.rel.peer});
     if (rules == rules_by_head_.end()) return Status::Ok();
+    // Nested executions (recursive subqueries demanded while a body is
+    // mid-join) each need their own scratch: index a pool by depth.
+    size_t depth = depth_++;
+    if (scratch_pool_.size() <= depth) {
+      scratch_pool_.push_back(std::make_unique<JoinScratch>());
+    }
+    JoinScratch& scratch = *scratch_pool_[depth];
+    Status status = Status::Ok();
     for (size_t rule_index : rules->second) {
       const Rule& rule = program_.rules[rule_index];
-      Substitution subst(rule.num_vars, kNoTerm);
-      std::vector<VarId> trail;
+      const RulePlan& plan = PlanFor(rule_index, pattern.adornment);
+      scratch.Prepare(rule.num_vars, rule.body.size());
       // Bind the bound head positions against the input tuple.
       bool ok = true;
       size_t next = 0;
       for (size_t i = 0; i < rule.head.args.size() && ok; ++i) {
         if (!pattern.adornment[i]) continue;
         ok = MatchPattern(rule.head.args[i], input[next++],
-                          db_.ctx().arena(), subst, trail);
+                          db_.ctx().arena(), scratch.subst, scratch.trail);
       }
       if (ok) {
-        DQSQ_RETURN_IF_ERROR(
-            EvalBody(rule, pattern, 0, subst, trail));
+        status = ExecuteRulePlan(plan, db_.ctx().arena(), *this, &pattern,
+                                 scratch, /*probes=*/nullptr);
+        if (!status.ok()) break;
       }
-      UndoTrail(subst, trail, 0);
     }
+    --depth_;
+    return status;
+  }
+
+  Status ResolveSource(const RulePlan& plan, size_t pos, const void* /*ctx*/,
+                       std::span<const TermId> key, Source* out) override {
+    const AtomPlan& ap = plan.atoms[pos];
+    const Atom& atom = *ap.atom;
+    RelId source = atom.rel;
+    if (IsIdb(atom.rel)) {
+      // The key values of the bound columns are exactly the call's bound
+      // arguments: demand the subquery, then join against its (current)
+      // answer table.
+      DQSQ_RETURN_IF_ERROR(AddInput(atom.rel, ap.adornment, key));
+      PatternKey pkey{atom.rel.pred, atom.rel.peer, ap.adornment};
+      source = pattern_by_key_.at(pkey).answers;
+    }
+    Relation* rel = db_.FindMutable(source);
+    out->rel = rel;
+    out->lo = 0;
+    // Snapshot the extent: rows inserted by recursive subqueries below
+    // this scan are picked up by the global restart loop, as before.
+    out->hi = rel == nullptr ? 0 : static_cast<uint32_t>(rel->size());
     return Status::Ok();
   }
 
-  Status EvalBody(const Rule& rule, const Pattern_& pattern, size_t pos,
-                  Substitution& subst, std::vector<VarId>& trail) {
-    if (pos == rule.body.size()) {
-      for (const Diseq& d : rule.diseqs) {
-        TermId lhs = GroundPattern(d.lhs, subst, db_.ctx().arena());
-        TermId rhs = GroundPattern(d.rhs, subst, db_.ctx().arena());
-        if (lhs == rhs) return Status::Ok();
-      }
-      std::vector<TermId> tuple;
-      for (const Pattern& p : rule.head.args) {
-        TermId t = GroundPattern(p, subst, db_.ctx().arena());
-        if (options_.max_term_depth > 0 &&
-            db_.ctx().arena().Depth(t) > options_.max_term_depth) {
-          if (options_.depth_policy == EvalOptions::DepthPolicy::kError) {
-            return ResourceExhaustedError("term depth budget exceeded");
-          }
-          return Status::Ok();
-        }
-        tuple.push_back(t);
-      }
-      if (db_.Insert(pattern.answers, tuple)) {
-        changed_ = true;
-        DQSQ_RETURN_IF_ERROR(CheckBudget());
-      }
-      return Status::Ok();
+  Status OnMatch(const RulePlan& plan, const void* ctx,
+                 JoinScratch& scratch) override {
+    const Rule& rule = *plan.rule;
+    const Pattern_& pattern = *static_cast<const Pattern_*>(ctx);
+    for (const Diseq& d : rule.diseqs) {
+      TermId lhs = GroundPattern(d.lhs, scratch.subst, db_.ctx().arena(),
+                                 scratch.ground_stack);
+      TermId rhs = GroundPattern(d.rhs, scratch.subst, db_.ctx().arena(),
+                                 scratch.ground_stack);
+      if (lhs == rhs) return Status::Ok();
     }
-
-    const Atom& atom = rule.body[pos];
-    RelId source = atom.rel;
-    if (IsIdb(atom.rel)) {
-      // Compute the call adornment from the current bindings and demand
-      // the subquery; then join against its (current) answer table.
-      Adornment a;
-      std::vector<TermId> bound_args;
-      for (const Pattern& p : atom.args) {
-        TermId t = TryGroundPattern(p, subst, db_.ctx().arena());
-        a.push_back(t != kNoTerm);
-        if (t != kNoTerm) bound_args.push_back(t);
-      }
-      DQSQ_RETURN_IF_ERROR(AddInput(atom.rel, a, bound_args));
-      PatternKey key{atom.rel.pred, atom.rel.peer, a};
-      source = pattern_by_key_.at(key).answers;
-    }
-
-    Relation* rel = db_.FindMutable(source);
-    if (rel == nullptr) return Status::Ok();
-    // Index probe on the ground columns.
-    uint32_t mask = 0;
-    std::vector<TermId> probe_key;
-    if (atom.args.size() <= 32) {
-      for (size_t c = 0; c < atom.args.size(); ++c) {
-        TermId t = TryGroundPattern(atom.args[c], subst, db_.ctx().arena());
-        if (t != kNoTerm) {
-          mask |= (1u << c);
-          probe_key.push_back(t);
+    scratch.tuple.clear();
+    for (const Pattern& p : rule.head.args) {
+      TermId t = GroundPattern(p, scratch.subst, db_.ctx().arena(),
+                               scratch.ground_stack);
+      if (options_.max_term_depth > 0 &&
+          db_.ctx().arena().Depth(t) > options_.max_term_depth) {
+        if (options_.depth_policy == EvalOptions::DepthPolicy::kError) {
+          return ResourceExhaustedError("term depth budget exceeded");
         }
+        return Status::Ok();
       }
+      scratch.tuple.push_back(t);
     }
-    auto try_row = [&](size_t row) -> Status {
-      auto values = rel->Row(row);
-      size_t mark = trail.size();
-      bool ok = true;
-      for (size_t c = 0; c < atom.args.size(); ++c) {
-        if (!MatchPattern(atom.args[c], values[c], db_.ctx().arena(), subst,
-                          trail)) {
-          ok = false;
-          break;
-        }
-      }
-      Status s = Status::Ok();
-      if (ok) s = EvalBody(rule, pattern, pos + 1, subst, trail);
-      UndoTrail(subst, trail, mark);
-      return s;
-    };
-    // Copy row ids: recursive subqueries may grow the relation.
-    if (mask != 0) {
-      std::vector<uint32_t> rows = rel->Probe(mask, probe_key);
-      for (uint32_t row : rows) DQSQ_RETURN_IF_ERROR(try_row(row));
-    } else {
-      size_t n = rel->size();
-      for (size_t row = 0; row < n; ++row) {
-        DQSQ_RETURN_IF_ERROR(try_row(row));
-      }
+    if (db_.Insert(pattern.answers, scratch.tuple)) {
+      changed_ = true;
+      DQSQ_RETURN_IF_ERROR(CheckBudget());
     }
     return Status::Ok();
   }
@@ -256,6 +255,9 @@ class QsqrEngine {
   std::map<std::pair<uint32_t, uint32_t>, std::vector<size_t>> rules_by_head_;
   std::map<PatternKey, Pattern_> pattern_by_key_;
   std::vector<Pattern_> patterns_;
+  std::map<std::pair<size_t, Adornment>, RulePlan> plans_;
+  std::vector<std::unique_ptr<JoinScratch>> scratch_pool_;
+  size_t depth_ = 0;
   bool changed_ = false;
 };
 

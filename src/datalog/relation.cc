@@ -1,76 +1,51 @@
 #include "datalog/relation.h"
 
-#include <algorithm>
-
-#include "common/hash.h"
-#include "common/logging.h"
-
 namespace dqsq {
 
-const std::vector<uint32_t> Relation::kEmptyRows;
-
-size_t Relation::KeyHash::operator()(const std::vector<TermId>& key) const {
-  return HashRange(key.begin(), key.end());
-}
-
-bool Relation::Insert(std::span<const TermId> tuple) {
-  DQSQ_DCHECK(tuple.size() == arity_);
-  size_t h = HashRange(tuple.begin(), tuple.end());
-  auto it = dedup_.find(h);
-  if (it != dedup_.end()) {
-    for (uint32_t row : it->second) {
-      if (std::equal(tuple.begin(), tuple.end(), Row(row).begin())) {
-        return false;
-      }
-    }
-  }
-  uint32_t row = static_cast<uint32_t>(size());
-  flat_.insert(flat_.end(), tuple.begin(), tuple.end());
-  ++num_rows_;
-  dedup_[h].push_back(row);
-  // Keep existing indices current.
-  for (auto& [mask, index] : indices_) {
-    index[KeyFor(row, mask)].push_back(row);
+// The masked helpers walk the set bits of the mask (ascending column
+// order) rather than all columns: columns past bit 31 are unreachable by a
+// 32-bit mask anyway, and for arities above 32 a full-column loop would
+// shift out of range.
+bool Relation::MaskedEquals(uint32_t row, uint32_t mask,
+                            std::span<const TermId> key) const {
+  size_t k = 0;
+  for (uint32_t m = mask; m != 0; m &= m - 1) {
+    if (columns_[SingleBitIndex(m)][row] != key[k++]) return false;
   }
   return true;
 }
 
-bool Relation::Contains(std::span<const TermId> tuple) const {
-  DQSQ_DCHECK(tuple.size() == arity_);
-  size_t h = HashRange(tuple.begin(), tuple.end());
-  auto it = dedup_.find(h);
-  if (it == dedup_.end()) return false;
-  for (uint32_t row : it->second) {
-    if (std::equal(tuple.begin(), tuple.end(), Row(row).begin())) return true;
+bool Relation::MaskedRowsEqual(uint32_t a, uint32_t b, uint32_t mask) const {
+  for (uint32_t m = mask; m != 0; m &= m - 1) {
+    const std::vector<TermId>& col = columns_[SingleBitIndex(m)];
+    if (col[a] != col[b]) return false;
   }
-  return false;
+  return true;
 }
 
-std::vector<TermId> Relation::KeyFor(size_t row, uint32_t mask) const {
-  std::vector<TermId> key;
-  auto r = Row(row);
-  for (uint32_t c = 0; c < arity_; ++c) {
-    if (mask & (1u << c)) key.push_back(r[c]);
+uint64_t Relation::MaskedHash(uint32_t row, uint32_t mask) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint32_t m = mask; m != 0; m &= m - 1) {
+    h = (h ^ columns_[SingleBitIndex(m)][row]) * 0x100000001b3ULL;
   }
-  return key;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  return h;
 }
 
-Relation::Index& Relation::GetIndex(uint32_t mask) {
-  auto it = indices_.find(mask);
-  if (it != indices_.end()) return it->second;
-  Index& index = indices_[mask];
-  for (size_t row = 0; row < size(); ++row) {
-    index[KeyFor(row, mask)].push_back(static_cast<uint32_t>(row));
-  }
+void Relation::Reserve(size_t rows) {
+  if (rows <= num_rows_) return;
+  row_major_.reserve(rows * arity_);
+  for (auto& col : columns_) col.reserve(rows);
+  dedup_.Reserve(rows);
+}
+
+RunIndex& Relation::BuildIndex(uint32_t mask) {
+  indices_.emplace_back(mask, RunIndex());
+  RunIndex& index = indices_.back().second;
+  BuildRunIndex(columns_, num_rows_, mask, index);
   return index;
-}
-
-const std::vector<uint32_t>& Relation::Probe(uint32_t mask,
-                                             std::span<const TermId> key) {
-  Index& index = GetIndex(mask);
-  auto it = index.find(std::vector<TermId>(key.begin(), key.end()));
-  if (it == index.end()) return kEmptyRows;
-  return it->second;
 }
 
 }  // namespace dqsq

@@ -306,6 +306,11 @@ void SimNetwork::SyncTransportStats() {
     CountMetric("dist.net.sacked", t.sacked - stats_.sacked, {}, "messages");
     stats_.sacked = t.sacked;
   }
+  if (t.fast_retransmits > stats_.fast_retransmits) {
+    CountMetric("dist.net.fast_retransmits",
+                t.fast_retransmits - stats_.fast_retransmits, {}, "messages");
+    stats_.fast_retransmits = t.fast_retransmits;
+  }
   if (t.window_stalls > stats_.window_stalls) {
     CountMetric("dist.net.window_stalls", t.window_stalls -
                 stats_.window_stalls, {}, "messages");

@@ -100,6 +100,7 @@ struct NetworkStats {
   size_t transport_acks = 0;     // standalone kTransportAck messages sent
   // Mirrored from the shim's TransportStats (dist/reliable.h).
   size_t sacked = 0;             // retransmit entries erased by SACK blocks
+  size_t fast_retransmits = 0;   // early resends on dup-SACK evidence
   size_t window_stalls = 0;      // sends deferred by a full window
   size_t window_drained = 0;     // deferred sends released by acks
   size_t rtt_samples = 0;        // Karn-eligible RTT measurements

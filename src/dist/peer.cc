@@ -441,7 +441,7 @@ void DatalogPeer::RestoreState(const std::string& state) {
     // GetOrCreate materializes empty relations too — their existence (and
     // row order in non-empty ones) must survive the round trip exactly,
     // since ship watermarks index into it.
-    db_.GetOrCreate(rel);
+    db_.GetOrCreate(rel).Reserve(rows);
     for (uint64_t row = 0; row < rows; ++row) {
       db_.Insert(rel, DecodePeerTuple(r));
     }

@@ -115,6 +115,28 @@ void ReliableTransport::ApplyAck(SenderState& sender, const Message& m,
       it = sample_and_erase(it);
     }
   }
+  // Fast retransmit: every surviving entry below the highest SACKed
+  // sequence number is a hole the receiver can see — it holds later data
+  // while this seq is missing. Enough independent pieces of such evidence
+  // (config_.fast_retransmit_dupacks) mean the wire copy is almost
+  // certainly lost, not reordered: make the entry due immediately so the
+  // next PollWire resends it without waiting out the RTO. One early resend
+  // per entry; afterwards the timeout/backoff path takes over as usual.
+  if (config_.fast_retransmit_dupacks > 0 && !m.sack.empty()) {
+    uint64_t highest_sacked = 0;
+    for (const SackBlock& b : m.sack) {
+      highest_sacked = std::max(highest_sacked, b.last);
+    }
+    for (auto& [seq, entry] : sender.unacked) {
+      if (seq >= highest_sacked) break;  // map is ordered by seq
+      if (entry.fast_retx_done) continue;
+      if (++entry.dup_evidence >= config_.fast_retransmit_dupacks) {
+        entry.fast_retx_done = true;
+        entry.due = now;
+        ++stats_.fast_retransmits;
+      }
+    }
+  }
   // Covered window-stalled entries are erased too. A live receiver cannot
   // acknowledge a sequence number that was never transmitted, so this
   // branch is unreachable in live operation; during write-ahead-log

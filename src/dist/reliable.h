@@ -65,6 +65,13 @@ struct ReliableConfig {
   // Maximum SACK blocks advertised per ack. 0 disables SACK entirely
   // (cumulative-only acks, the pre-SACK behavior).
   size_t max_sack_blocks = 4;
+  // Fast retransmit: an entry still unacknowledged after this many acks
+  // whose SACK blocks cover LATER sequence numbers (the receiver has data
+  // above the hole, so the wire copy is almost certainly lost) is
+  // retransmitted immediately instead of waiting out its RTO. One fast
+  // retransmit per entry; afterwards the normal timeout path takes over.
+  // 0 disables (pure timeout-driven recovery, the prior behavior).
+  size_t fast_retransmit_dupacks = 3;
   // Jacobson/Karels RTO estimation over the virtual clock. When off, the
   // fixed retransmit_timeout is used.
   bool adaptive_rto = true;
@@ -76,8 +83,9 @@ struct ReliableConfig {
 /// Transport-internal counters, mirrored into dist.net.* metrics by
 /// SimNetwork (see docs/METRICS.md).
 struct TransportStats {
-  size_t sacked = 0;          // unacked entries erased by SACK blocks
-  size_t window_stalls = 0;   // sends deferred because the window was full
+  size_t sacked = 0;            // unacked entries erased by SACK blocks
+  size_t fast_retransmits = 0;  // entries resent early on dup-SACK evidence
+  size_t window_stalls = 0;     // sends deferred because the window was full
   size_t window_drained = 0;  // deferred sends released as the window opened
   size_t rtt_samples = 0;     // RTT measurements taken (Karn-eligible only)
   uint64_t last_rto = 0;      // most recent adaptive RTO (0 = no sample yet)
@@ -195,6 +203,11 @@ class ReliableTransport {
     uint64_t backoff;        // current multiplier on the RTO
     uint64_t sent_at;        // first transmission time (RTT measurement)
     uint64_t transmissions;  // Karn's rule: sample RTT only when == 1
+    // Fast-retransmit state: acks seen whose SACK blocks cover sequence
+    // numbers above this entry while it stayed unacknowledged, and whether
+    // the one-shot early retransmit already fired.
+    uint64_t dup_evidence = 0;
+    bool fast_retx_done = false;
   };
   struct SenderState {
     uint64_t next_seq = 0;

@@ -1,0 +1,234 @@
+#include "datalog/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dqsq {
+namespace {
+
+TEST(FlatTupleSetTest, FindOnEmptyIsNotFound) {
+  FlatTupleSet set;
+  EXPECT_EQ(set.Find(123, [](uint32_t) { return true; }),
+            FlatTupleSet::kNotFound);
+  EXPECT_EQ(set.size(), 0u);
+}
+
+TEST(FlatTupleSetTest, InsertThenFindRoundTrips) {
+  FlatTupleSet set;
+  for (uint32_t row = 0; row < 100; ++row) {
+    set.Insert(HashTermSpan({&row, 1}), row);
+  }
+  EXPECT_EQ(set.size(), 100u);
+  for (uint32_t row = 0; row < 100; ++row) {
+    EXPECT_EQ(set.Find(HashTermSpan({&row, 1}),
+                       [&](uint32_t r) { return r == row; }),
+              row);
+  }
+  uint32_t absent = 100;
+  EXPECT_EQ(set.Find(HashTermSpan({&absent, 1}),
+                     [](uint32_t) { return true; }),
+            FlatTupleSet::kNotFound);
+}
+
+TEST(FlatTupleSetTest, InsertIfAbsentIsSingleProbeFindOrInsert) {
+  FlatTupleSet set;
+  uint32_t key = 7;
+  uint64_t h = HashTermSpan({&key, 1});
+  EXPECT_TRUE(set.InsertIfAbsent(h, 0, [](uint32_t) { return true; }));
+  EXPECT_FALSE(set.InsertIfAbsent(h, 1, [](uint32_t r) { return r == 0; }));
+  EXPECT_EQ(set.size(), 1u);
+  // Same hash but eq rejects every resident row (a full-tuple hash
+  // collision between different tuples): a new row is recorded alongside
+  // the colliding one, and both stay findable through their own eq.
+  EXPECT_TRUE(set.InsertIfAbsent(h, 2, [](uint32_t) { return false; }));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.Find(h, [](uint32_t r) { return r == 0; }), 0u);
+  EXPECT_EQ(set.Find(h, [](uint32_t r) { return r == 2; }), 2u);
+}
+
+TEST(FlatTupleSetTest, SurvivesGrowthAcrossManyInserts) {
+  FlatTupleSet set;
+  constexpr uint32_t kRows = 10000;  // many doublings past the initial 16
+  for (uint32_t row = 0; row < kRows; ++row) {
+    EXPECT_TRUE(set.InsertIfAbsent(HashTermSpan({&row, 1}), row,
+                                   [&](uint32_t r) { return r == row; }));
+  }
+  EXPECT_EQ(set.size(), kRows);
+  for (uint32_t row = 0; row < kRows; ++row) {
+    EXPECT_EQ(set.Find(HashTermSpan({&row, 1}),
+                       [&](uint32_t r) { return r == row; }),
+              row)
+        << row;
+  }
+}
+
+TEST(FlatTupleSetTest, ReservePreservesContents) {
+  FlatTupleSet set;
+  for (uint32_t row = 0; row < 10; ++row) {
+    set.Insert(HashTermSpan({&row, 1}), row);
+  }
+  set.Reserve(5000);
+  for (uint32_t row = 0; row < 10; ++row) {
+    EXPECT_EQ(set.Find(HashTermSpan({&row, 1}),
+                       [&](uint32_t r) { return r == row; }),
+              row);
+  }
+}
+
+// RunIndex tests drive the index the way Relation does: one key per
+// distinct value of a single conceptual column, rows appended ascending.
+class RunIndexFixture {
+ public:
+  void Add(TermId key, uint32_t row) {
+    if (row >= key_of_row_.size()) key_of_row_.resize(row + 1);
+    key_of_row_[row] = key;
+    index_.Add(HashTermSpan({&key, 1}), row, [&](uint32_t first_row) {
+      return key_of_row_[first_row] == key;
+    });
+  }
+
+  uint32_t FindRun(TermId key) const {
+    return index_.FindRun(HashTermSpan({&key, 1}), [&](uint32_t first_row) {
+      return key_of_row_[first_row] == key;
+    });
+  }
+
+  std::vector<uint32_t> Rows(TermId key, uint32_t lo = 0,
+                             uint32_t hi = 0xffffffffu) const {
+    std::vector<uint32_t> out;
+    uint32_t run = FindRun(key);
+    if (run != RunIndex::kNoRun) index_.CopyRun(run, lo, hi, out);
+    return out;
+  }
+
+  RunIndex& index() { return index_; }
+
+ private:
+  RunIndex index_;
+  std::vector<TermId> key_of_row_;
+};
+
+TEST(RunIndexTest, FindRunOnEmptyIsNoRun) {
+  RunIndexFixture f;
+  EXPECT_EQ(f.FindRun(1), RunIndex::kNoRun);
+}
+
+TEST(RunIndexTest, RowsOfAKeyComeBackAscending) {
+  RunIndexFixture f;
+  // Interleave two keys.
+  for (uint32_t row = 0; row < 10; ++row) f.Add(/*key=*/row % 2, row);
+  EXPECT_EQ(f.Rows(0), (std::vector<uint32_t>{0, 2, 4, 6, 8}));
+  EXPECT_EQ(f.Rows(1), (std::vector<uint32_t>{1, 3, 5, 7, 9}));
+  EXPECT_EQ(f.index().num_runs(), 2u);
+}
+
+TEST(RunIndexTest, CopyRunWindowsTheRun) {
+  RunIndexFixture f;
+  for (uint32_t row = 0; row < 100; ++row) f.Add(/*key=*/1, row);
+  EXPECT_EQ(f.Rows(1, 40, 45), (std::vector<uint32_t>{40, 41, 42, 43, 44}));
+  // Window above the run's last row: the last_row quick-reject fires.
+  EXPECT_TRUE(f.Rows(1, 100, 200).empty());
+  // Window below the run's first row.
+  RunIndexFixture g;
+  for (uint32_t row = 50; row < 60; ++row) g.Add(/*key=*/1, row);
+  EXPECT_TRUE(g.Rows(1, 0, 50).empty());
+  EXPECT_EQ(g.Rows(1, 0, 51), (std::vector<uint32_t>{50}));
+}
+
+TEST(RunIndexTest, LongRunsSpanChunksAndWindowSkipsWholeChunks) {
+  RunIndexFixture f;
+  constexpr uint32_t kRows = 1000;  // well past one 14-row chunk
+  for (uint32_t row = 0; row < kRows; ++row) f.Add(/*key=*/9, row);
+  std::vector<uint32_t> all = f.Rows(9);
+  ASSERT_EQ(all.size(), kRows);
+  for (uint32_t row = 0; row < kRows; ++row) EXPECT_EQ(all[row], row);
+  // A tail window exercises the per-chunk skip (chunks wholly below lo).
+  EXPECT_EQ(f.Rows(9, 995, kRows),
+            (std::vector<uint32_t>{995, 996, 997, 998, 999}));
+  // A mid-run window split across chunk boundaries.
+  std::vector<uint32_t> mid = f.Rows(9, 13, 29);
+  ASSERT_EQ(mid.size(), 16u);
+  for (size_t i = 0; i < mid.size(); ++i) EXPECT_EQ(mid[i], 13 + i);
+}
+
+TEST(RunIndexTest, ManyKeysSurviveSlotTableGrowth) {
+  RunIndexFixture f;
+  constexpr uint32_t kKeys = 2000;
+  for (uint32_t k = 0; k < kKeys; ++k) f.Add(/*key=*/k, k);
+  EXPECT_EQ(f.index().num_runs(), kKeys);
+  for (uint32_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(f.Rows(k), (std::vector<uint32_t>{k})) << k;
+  }
+}
+
+TEST(RunIndexTest, ReserveRunsPreservesExistingRuns) {
+  RunIndexFixture f;
+  for (uint32_t k = 0; k < 10; ++k) f.Add(k, k);
+  f.index().ReserveRuns(5000);
+  for (uint32_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(f.Rows(k), (std::vector<uint32_t>{k}));
+  }
+}
+
+// Bulk build must land in exactly the state incremental maintenance
+// produces: same runs, same row order, same window behavior.
+TEST(BuildRunIndexTest, BulkBuildMatchesIncrementalAdd) {
+  Rng rng(42);
+  constexpr uint32_t kArity = 3;
+  constexpr uint32_t kRows = 500;
+  std::vector<std::vector<TermId>> columns(kArity);
+  for (uint32_t row = 0; row < kRows; ++row) {
+    for (uint32_t c = 0; c < kArity; ++c) {
+      columns[c].push_back(static_cast<TermId>(rng.NextBelow(7)));
+    }
+  }
+  for (uint32_t mask : {1u, 2u, 4u, 3u, 5u, 7u}) {
+    RunIndex bulk;
+    BuildRunIndex(columns, kRows, mask, bulk);
+
+    auto key_of = [&](uint32_t row) {
+      std::vector<TermId> key;
+      for (uint32_t c = 0; c < kArity; ++c) {
+        if (mask & (1u << c)) key.push_back(columns[c][row]);
+      }
+      return key;
+    };
+    auto rows_equal = [&](uint32_t a, uint32_t b) {
+      for (uint32_t c = 0; c < kArity; ++c) {
+        if ((mask & (1u << c)) && columns[c][a] != columns[c][b]) return false;
+      }
+      return true;
+    };
+    RunIndex inc;
+    for (uint32_t row = 0; row < kRows; ++row) {
+      inc.Add(HashTermSpan(key_of(row)), row,
+              [&](uint32_t first_row) { return rows_equal(first_row, row); });
+    }
+    ASSERT_EQ(bulk.num_runs(), inc.num_runs()) << "mask=" << mask;
+    for (uint32_t row = 0; row < kRows; ++row) {
+      std::vector<TermId> key = key_of(row);
+      auto eq = [&](uint32_t first_row) { return rows_equal(first_row, row); };
+      uint32_t br = bulk.FindRun(HashTermSpan(key), eq);
+      uint32_t ir = inc.FindRun(HashTermSpan(key), eq);
+      ASSERT_NE(br, RunIndex::kNoRun);
+      ASSERT_NE(ir, RunIndex::kNoRun);
+      std::vector<uint32_t> bulk_rows, inc_rows;
+      bulk.CopyRun(br, 0, kRows, bulk_rows);
+      inc.CopyRun(ir, 0, kRows, inc_rows);
+      EXPECT_EQ(bulk_rows, inc_rows) << "mask=" << mask << " row=" << row;
+      // Windowed slices agree too.
+      bulk_rows.clear();
+      inc_rows.clear();
+      bulk.CopyRun(br, kRows / 3, 2 * kRows / 3, bulk_rows);
+      inc.CopyRun(ir, kRows / 3, 2 * kRows / 3, inc_rows);
+      EXPECT_EQ(bulk_rows, inc_rows) << "mask=" << mask << " row=" << row;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqsq

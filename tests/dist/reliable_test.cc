@@ -332,6 +332,44 @@ TEST(ReliableTransportTest, SackBlockListIsBounded) {
   EXPECT_EQ(acks[0].sack[1], (SackBlock{4, 4}));
 }
 
+TEST(ReliableTransportTest, FastRetransmitFiresOnDupSackEvidenceBeforeRto) {
+  ReliableConfig config;
+  config.retransmit_timeout = 100;  // far horizon: only fast retx can fire
+  config.ack_delay = 1;
+  config.fast_retransmit_dupacks = 3;
+  ReliableTransport transport(config);
+  Message m[6];
+  for (int i = 1; i <= 5; ++i) {
+    m[i] = Basic(1, 2);
+    transport.StampOutgoing(m[i], 0);
+  }
+  // Seq 1 is lost. Each later arrival provokes an ack whose SACK blocks
+  // cover data above the hole — one piece of dup evidence apiece.
+  uint64_t now = 1;
+  for (int i = 2; i <= 4; ++i) {
+    EXPECT_EQ(transport.OnWireDelivery(m[i], now++),
+              ReliableTransport::Disposition::kDeliverFirst);
+    auto acks = transport.PollWire(now++);
+    ASSERT_EQ(acks.size(), 1u);
+    EXPECT_EQ(acks[0].ack, 0u);  // the hole holds cum at 0
+    EXPECT_EQ(transport.OnWireDelivery(acks[0], now++),
+              ReliableTransport::Disposition::kControl);
+  }
+  // Third piece of evidence: seq 1 is due immediately, long before its RTO.
+  EXPECT_EQ(transport.stats().fast_retransmits, 1u);
+  ASSERT_LT(*transport.NextDue(), config.retransmit_timeout);
+  auto resent = transport.PollWire(now);
+  ASSERT_EQ(resent.size(), 1u);
+  EXPECT_TRUE(resent[0].retransmit);
+  EXPECT_EQ(resent[0].seq, 1u);
+  // One-shot: the early resend does not repeat; the entry falls back to
+  // the timeout path (due re-armed at RTO x backoff).
+  EXPECT_TRUE(transport.PollWire(now + 2).empty());
+  EXPECT_EQ(transport.OnWireDelivery(resent[0], now + 3),
+            ReliableTransport::Disposition::kDeliverFirst);
+  EXPECT_EQ(transport.stats().fast_retransmits, 1u);
+}
+
 TEST(ReliableTransportTest, KarnExcludesRetransmittedEntriesFromRtt) {
   ReliableConfig config;
   config.retransmit_timeout = 10;
@@ -532,6 +570,7 @@ TEST(FaultInjectionPropertyTest, AdversarialSoakExercisesTheWholeShim) {
     agg.retransmits += result->stats.retransmits;
     agg.spurious += result->stats.spurious;
     agg.sacked += result->stats.sacked;
+    agg.fast_retransmits += result->stats.fast_retransmits;
     agg.window_stalls += result->stats.window_stalls;
     agg.window_drained += result->stats.window_drained;
     agg.rtt_samples += result->stats.rtt_samples;
@@ -543,6 +582,10 @@ TEST(FaultInjectionPropertyTest, AdversarialSoakExercisesTheWholeShim) {
   EXPECT_GT(agg.retransmits, 0u);   // every drop must be repaired
   EXPECT_GT(agg.spurious, 0u);      // duplicates must be suppressed
   EXPECT_GT(agg.sacked, 0u);        // selective acks must clear entries
+  // Dup-SACK evidence must trigger early resends under this much loss,
+  // and every fast retransmit is also counted as a retransmit.
+  EXPECT_GT(agg.fast_retransmits, 0u);
+  EXPECT_LE(agg.fast_retransmits, agg.retransmits);
   EXPECT_GT(agg.window_stalls, 0u);  // the 2-wide window must backpressure
   EXPECT_EQ(agg.window_stalls, agg.window_drained);  // every stall drains
   EXPECT_GT(agg.rtt_samples, 0u);   // the RTO estimator must engage

@@ -9,64 +9,144 @@ BENCH_E3_crash.json pins the crash-restart schedules the same way: the
 crash-free column must stay identical to the lossless E3 run, and the
 seeded crash schedules are fully deterministic, so checkpoint volume, WAL
 replay length and recovery counts are exact values, not ranges.
-Only wall-clock timing fields (wall_time_ns, ns-unit metrics) are excluded,
-since they vary run to run.
 
-Usage: check_bench_baseline.py <baseline.json> <candidate.json> \
+Timing fields — wall_time_ns, ns-unit metrics, metric names containing
+"wall", params whose key ends in "_ns" — vary run to run and are excluded
+from the exact comparison. By default they are ignored entirely; with
+--max-timing-ratio R each candidate timing field must instead stay within
+a factor of R of its baseline value in BOTH directions (guards gross
+performance regressions without pinning the clock; fields that are zero or
+missing on either side are skipped).
+
+Usage: check_bench_baseline.py [--max-timing-ratio R] \
+           <baseline.json> <candidate.json> \
            [<baseline2.json> <candidate2.json> ...]
-Exits non-zero with a unified diff when any filtered pair differs.
+Exits non-zero with a unified diff when any filtered pair differs, or when
+a timing field exceeds the ratio bound.
 """
 import difflib
 import json
 import sys
 
 
-def load_filtered(path):
+def is_timing_metric(metric):
+    return metric.get("unit") == "ns" or "wall" in metric.get("name", "")
+
+
+def is_timing_param(key, value):
+    return key.endswith("_ns") and isinstance(value, (int, float))
+
+
+def load(path):
     with open(path) as f:
-        doc = json.load(f)
-    doc.pop("wall_time_ns", None)
+        return json.load(f)
+
+
+def split_timings(doc):
+    """Returns (doc-without-timing-fields, {field-name: value})."""
+    timings = {}
+    wall = doc.pop("wall_time_ns", None)
+    if isinstance(wall, (int, float)):
+        timings["wall_time_ns"] = wall
     metrics = doc.get("metrics")
     if isinstance(metrics, dict):
-        metrics["metrics"] = [
-            m
-            for m in metrics.get("metrics", [])
-            if m.get("unit") != "ns" and "wall" not in m.get("name", "")
-        ]
-    return doc
+        kept = []
+        for m in metrics.get("metrics", []):
+            if is_timing_metric(m):
+                labels = json.dumps(m.get("labels", {}), sort_keys=True)
+                timings[f"metric:{m.get('name')}:{labels}"] = m.get("value")
+            else:
+                kept.append(m)
+        metrics["metrics"] = kept
+    params = doc.get("params")
+    if isinstance(params, dict):
+        for key in list(params):
+            if is_timing_param(key, params[key]):
+                timings[f"param:{key}"] = params.pop(key)
+    return doc, timings
 
 
-def check_pair(baseline_path, candidate_path):
-    baseline = load_filtered(baseline_path)
-    candidate = load_filtered(candidate_path)
-    if baseline == candidate:
-        print(f"bench baseline OK: {candidate_path} matches {baseline_path}")
-        return True
-    diff = difflib.unified_diff(
-        json.dumps(baseline, indent=1, sort_keys=True).splitlines(),
-        json.dumps(candidate, indent=1, sort_keys=True).splitlines(),
-        fromfile=baseline_path,
-        tofile=candidate_path,
-        lineterm="",
-    )
-    print("\n".join(diff))
-    print(
-        f"\nbench baseline MISMATCH: {candidate_path} differs from "
-        f"{baseline_path} beyond timing fields.\n"
-        "If the count change is intentional, regenerate the baseline:\n"
-        "  DQSQ_BENCH_OUT_DIR=bench/baselines ./build/bench/bench_distributed",
-        file=sys.stderr,
-    )
-    return False
+def check_timing_ratio(baseline, candidate, max_ratio, candidate_path):
+    ok = True
+    for field, base_value in baseline.items():
+        cand_value = candidate.get(field)
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        if not isinstance(cand_value, (int, float)) or cand_value <= 0:
+            continue
+        ratio = max(cand_value / base_value, base_value / cand_value)
+        if ratio > max_ratio:
+            direction = "slower" if cand_value > base_value else "faster"
+            print(
+                f"timing ratio EXCEEDED in {candidate_path}: {field} is "
+                f"{ratio:.2f}x {direction} than baseline "
+                f"({base_value} -> {cand_value}, limit {max_ratio}x)",
+                file=sys.stderr,
+            )
+            ok = False
+    return ok
+
+
+def check_pair(baseline_path, candidate_path, max_timing_ratio):
+    baseline, baseline_timings = split_timings(load(baseline_path))
+    candidate, candidate_timings = split_timings(load(candidate_path))
+    ok = True
+    if baseline != candidate:
+        diff = difflib.unified_diff(
+            json.dumps(baseline, indent=1, sort_keys=True).splitlines(),
+            json.dumps(candidate, indent=1, sort_keys=True).splitlines(),
+            fromfile=baseline_path,
+            tofile=candidate_path,
+            lineterm="",
+        )
+        print("\n".join(diff))
+        print(
+            f"\nbench baseline MISMATCH: {candidate_path} differs from "
+            f"{baseline_path} beyond timing fields.\n"
+            "If the count change is intentional, regenerate the baseline:\n"
+            "  DQSQ_BENCH_OUT_DIR=bench/baselines "
+            "./build/bench/<bench_binary>",
+            file=sys.stderr,
+        )
+        ok = False
+    if max_timing_ratio is not None:
+        ok = (
+            check_timing_ratio(
+                baseline_timings, candidate_timings, max_timing_ratio,
+                candidate_path,
+            )
+            and ok
+        )
+    if ok:
+        bound = (
+            ""
+            if max_timing_ratio is None
+            else f" (timings within {max_timing_ratio}x)"
+        )
+        print(
+            f"bench baseline OK: {candidate_path} matches "
+            f"{baseline_path}{bound}"
+        )
+    return ok
 
 
 def main(argv):
-    pairs = argv[1:]
-    if not pairs or len(pairs) % 2 != 0:
+    args = argv[1:]
+    max_timing_ratio = None
+    if "--max-timing-ratio" in args:
+        i = args.index("--max-timing-ratio")
+        try:
+            max_timing_ratio = float(args[i + 1])
+        except (IndexError, ValueError):
+            print("--max-timing-ratio requires a number", file=sys.stderr)
+            return 2
+        del args[i : i + 2]
+    if not args or len(args) % 2 != 0:
         print(__doc__, file=sys.stderr)
         return 2
     ok = True
-    for i in range(0, len(pairs), 2):
-        ok = check_pair(pairs[i], pairs[i + 1]) and ok
+    for i in range(0, len(args), 2):
+        ok = check_pair(args[i], args[i + 1], max_timing_ratio) and ok
     return 0 if ok else 1
 
 
