@@ -34,7 +34,7 @@ struct StepMicroResult {
 StepMicroResult StepMicrobench() {
   class SinkPeer : public dist::PeerNode {
    public:
-    Status OnMessage(const dist::Message&, dist::SimNetwork&) override {
+    Status OnMessage(const dist::Message&, dist::Network&) override {
       return Status::Ok();
     }
   };

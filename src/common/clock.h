@@ -1,0 +1,56 @@
+// Monotonic time behind a narrow interface. The simulated network advances
+// a ManualClock one tick per delivery (virtual time, fully deterministic);
+// the socket transport (dist/socket_network.h) reads the OS steady clock.
+// Code that needs "now" for timeouts or latency accounting takes a Clock&
+// so both deployments share the logic.
+#ifndef DQSQ_COMMON_CLOCK_H_
+#define DQSQ_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dqsq {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic nanoseconds since an arbitrary epoch. Never decreases.
+  virtual uint64_t NowNs() = 0;
+};
+
+/// std::chrono::steady_clock: monotonic, unaffected by wall-clock steps.
+class SteadyClock : public Clock {
+ public:
+  uint64_t NowNs() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Shared instance (the clock is stateless).
+  static SteadyClock& Default() {
+    static SteadyClock clock;
+    return clock;
+  }
+};
+
+/// Hand-advanced clock for simulations and tests. SimNetwork ticks one
+/// "nanosecond" per delivery; the unit is whatever the caller makes it.
+class ManualClock : public Clock {
+ public:
+  uint64_t NowNs() override { return now_; }
+  uint64_t now() const { return now_; }
+  void Advance(uint64_t delta = 1) { now_ += delta; }
+  /// Moves forward to `t`; a `t` in the past is a no-op (monotonicity).
+  void AdvanceTo(uint64_t t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+}  // namespace dqsq
+
+#endif  // DQSQ_COMMON_CLOCK_H_

@@ -2,9 +2,94 @@
 
 #include <set>
 
+#include "datalog/adornment.h"
+#include "datalog/qsq_rewrite.h"
+
 namespace dqsq::dist {
 
-Status RootNode::OnMessage(const Message& message, SimNetwork& network) {
+std::set<SymbolId> ProgramPeers(const Program& program,
+                                const ParsedQuery& query) {
+  std::set<SymbolId> peer_ids;
+  peer_ids.insert(query.atom.rel.peer);
+  for (const Rule& rule : program.rules) {
+    peer_ids.insert(rule.head.rel.peer);
+    for (const Atom& atom : rule.body) peer_ids.insert(atom.rel.peer);
+  }
+  return peer_ids;
+}
+
+void InstallRuleAt(DatalogPeer& owner, const Rule& rule, Cluster::Mode mode,
+                   DatalogContext& ctx) {
+  if (rule.IsFact()) {
+    // Ground facts are extensional data, loaded directly.
+    std::vector<TermId> tuple;
+    for (const Pattern& p : rule.head.args) {
+      tuple.push_back(GroundPattern(p, Substitution(), ctx.arena()));
+    }
+    owner.AddFact(rule.head.rel, tuple);
+  } else if (mode == Cluster::Mode::kEvaluate) {
+    owner.InstallRule(rule);
+  } else {
+    owner.InstallSourceRule(rule);
+  }
+}
+
+std::vector<Message> SeedDemandMessages(DatalogContext& ctx,
+                                        const ParsedQuery& query,
+                                        SymbolId root_id, Cluster::Mode mode) {
+  std::vector<Message> out;
+  if (mode == Cluster::Mode::kEvaluate) {
+    Message m;
+    m.kind = MessageKind::kActivate;
+    m.from = root_id;
+    m.to = query.atom.rel.peer;
+    m.rel = query.atom.rel;
+    m.subscriber = query.atom.rel.peer;  // self: activation only
+    out.push_back(std::move(m));
+    return out;
+  }
+  const RelId query_rel = query.atom.rel;
+  Adornment adornment = QueryAdornment(query.atom);
+  const std::string& base = ctx.PredicateName(query_rel.pred);
+  uint32_t bound = 0;
+  for (bool b : adornment) bound += b ? 1 : 0;
+  PredicateId in_pred =
+      ctx.InternPredicate(InputPredName(base, adornment), bound);
+  Message sub;
+  sub.kind = MessageKind::kSubquery;
+  sub.from = root_id;
+  sub.to = query_rel.peer;
+  sub.rel = query_rel;
+  sub.adornment = adornment;
+  out.push_back(std::move(sub));
+  std::vector<TermId> seed;
+  for (size_t i = 0; i < query.atom.args.size(); ++i) {
+    if (!adornment[i]) continue;
+    seed.push_back(
+        GroundPattern(query.atom.args[i], Substitution(), ctx.arena()));
+  }
+  Message data;
+  data.kind = MessageKind::kTuples;
+  data.from = root_id;
+  data.to = query_rel.peer;
+  data.rel = RelId{in_pred, query_rel.peer};
+  data.tuples.push_back(std::move(seed));
+  out.push_back(std::move(data));
+  return out;
+}
+
+Atom AnswerAtom(DatalogContext& ctx, const ParsedQuery& query,
+                Cluster::Mode mode) {
+  if (mode == Cluster::Mode::kEvaluate) return query.atom;
+  const RelId query_rel = query.atom.rel;
+  Adornment adornment = QueryAdornment(query.atom);
+  const std::string& base = ctx.PredicateName(query_rel.pred);
+  PredicateId ans_pred = ctx.InternPredicate(
+      AnswerPredName(base, adornment), ctx.PredicateArity(query_rel.pred));
+  return Atom{RelId{ans_pred, query_rel.peer}, query.atom.args};
+}
+
+Status RootNode::OnMessage(const Message& message, Network& network) {
   if (message.kind == MessageKind::kAck) {
     ds_.OnReceiveAck();
     if (ds_.TryDisengage()) terminated_ = true;
@@ -29,13 +114,7 @@ Cluster::Cluster(DatalogContext& ctx, const Program& program,
     : network_(seed, faults) {
   network_.SetPeerNamer(
       [ctx = &ctx](SymbolId id) { return ctx->symbols().Name(id); });
-  std::set<SymbolId> peer_ids;
-  peer_ids.insert(query.atom.rel.peer);
-  for (const Rule& rule : program.rules) {
-    peer_ids.insert(rule.head.rel.peer);
-    for (const Atom& atom : rule.body) peer_ids.insert(atom.rel.peer);
-  }
-  for (SymbolId id : peer_ids) {
+  for (SymbolId id : ProgramPeers(program, query)) {
     auto peer = std::make_unique<DatalogPeer>(id, &ctx, eval_options);
     network_.Register(id, peer.get());
     peers_.emplace(id, std::move(peer));
@@ -43,19 +122,7 @@ Cluster::Cluster(DatalogContext& ctx, const Program& program,
   root_ = std::make_unique<RootNode>(ctx.symbols().Intern("ds_root"));
   network_.Register(root_->id(), root_.get());
   for (const Rule& rule : program.rules) {
-    DatalogPeer& owner = *peers_.at(rule.head.rel.peer);
-    if (rule.IsFact()) {
-      // Ground facts are extensional data, loaded directly.
-      std::vector<TermId> tuple;
-      for (const Pattern& p : rule.head.args) {
-        tuple.push_back(GroundPattern(p, Substitution(), ctx.arena()));
-      }
-      owner.AddFact(rule.head.rel, tuple);
-    } else if (mode == Mode::kEvaluate) {
-      owner.InstallRule(rule);
-    } else {
-      owner.InstallSourceRule(rule);
-    }
+    InstallRuleAt(*peers_.at(rule.head.rel.peer), rule, mode, ctx);
   }
 }
 

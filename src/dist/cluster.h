@@ -6,6 +6,8 @@
 
 #include <map>
 #include <memory>
+#include <set>
+#include <vector>
 
 #include "datalog/eval.h"
 #include "datalog/parser.h"
@@ -27,12 +29,12 @@ class RootNode : public PeerNode {
   bool terminated() const { return terminated_; }
 
   /// Sends a basic message on behalf of the driver.
-  void SendBasic(Message message, SimNetwork& network) {
+  void SendBasic(Message message, Network& network) {
     ds_.OnSendBasic();
     network.Send(std::move(message));
   }
 
-  Status OnMessage(const Message& message, SimNetwork& network) override;
+  Status OnMessage(const Message& message, Network& network) override;
 
  private:
   SymbolId id_;
@@ -80,6 +82,35 @@ class Cluster {
   std::unique_ptr<RootNode> root_;
   std::map<SymbolId, std::unique_ptr<DatalogPeer>> peers_;
 };
+
+// ---- Shared driver plumbing ----------------------------------------------
+// Used by the simulated Cluster above AND the multi-process runner
+// (dist/cluster_main.cc), so both build identical peer state, pose
+// identical demand and extract answers from the same relation.
+
+/// Peer names occurring in `program` or `query`: the unit of placement.
+/// The simulated Cluster hosts all of them in one process; the cluster
+/// runner partitions them across OS processes.
+std::set<SymbolId> ProgramPeers(const Program& program,
+                                const ParsedQuery& query);
+
+/// Installs one program rule at the peer owning its head: ground facts
+/// load as extensional data, proper rules install per `mode`.
+void InstallRuleAt(DatalogPeer& owner, const Rule& rule, Cluster::Mode mode,
+                   DatalogContext& ctx);
+
+/// The demand the root sends to start the computation: one kActivate for
+/// distributed naive, or a kSubquery followed by the seed input tuple for
+/// dQSQ (per-channel FIFO keeps the pair ordered).
+std::vector<Message> SeedDemandMessages(DatalogContext& ctx,
+                                        const ParsedQuery& query,
+                                        SymbolId root_id, Cluster::Mode mode);
+
+/// The atom whose facts at the query-owner peer are the final answers:
+/// the query atom itself under kEvaluate, the adorned answer relation
+/// under kSourceOnly.
+Atom AnswerAtom(DatalogContext& ctx, const ParsedQuery& query,
+                Cluster::Mode mode);
 
 }  // namespace dqsq::dist
 

@@ -44,13 +44,8 @@ StatusOr<DistResult> DistNaiveSolve(DatalogContext& ctx,
   // delivers messages until its own deficit hits zero — no god's-eye view
   // of the channels is needed to know the fixpoint has been reached.
   DatalogPeer& owner = cluster.peer(query.atom.rel.peer);
-  {
-    Message m;
-    m.kind = MessageKind::kActivate;
-    m.from = cluster.root().id();
-    m.to = query.atom.rel.peer;
-    m.rel = query.atom.rel;
-    m.subscriber = query.atom.rel.peer;  // self: activation only
+  for (Message& m : SeedDemandMessages(ctx, query, cluster.root().id(),
+                                       Cluster::Mode::kEvaluate)) {
     cluster.root().SendBasic(std::move(m), cluster.network());
   }
   DQSQ_RETURN_IF_ERROR(

@@ -3,8 +3,6 @@
 #include <unordered_set>
 
 #include "common/metrics.h"
-#include "datalog/adornment.h"
-#include "datalog/qsq_rewrite.h"
 #include "dist/cluster.h"
 
 namespace dqsq::dist {
@@ -26,48 +24,14 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
   Cluster cluster(ctx, program, query, options.seed, options.eval,
                   Cluster::Mode::kSourceOnly, options.faults);
 
-  const RelId query_rel = query.atom.rel;
-  Adornment adornment = QueryAdornment(query.atom);
-  const std::string& base = ctx.PredicateName(query_rel.pred);
-
-  // Interface relations of the query's call pattern.
-  uint32_t bound = 0;
-  for (bool b : adornment) bound += b ? 1 : 0;
-  PredicateId in_pred =
-      ctx.InternPredicate(InputPredName(base, adornment), bound);
-  PredicateId ans_pred = ctx.InternPredicate(
-      AnswerPredName(base, adornment), ctx.PredicateArity(query_rel.pred));
-  RelId input_rel{in_pred, query_rel.peer};
-  RelId answer_rel{ans_pred, query_rel.peer};
-
   // Pose the query at the owner as the Dijkstra-Scholten root: a subquery
   // message carrying the call pattern, then the bound arguments (FIFO on
   // the same channel keeps them ordered). Termination is detected by the
   // root's deficit, not by inspecting the channels.
-  DatalogPeer& owner = cluster.peer(query_rel.peer);
-  {
-    Message sub;
-    sub.kind = MessageKind::kSubquery;
-    sub.from = cluster.root().id();
-    sub.to = query_rel.peer;
-    sub.rel = query_rel;
-    sub.adornment = adornment;
-    cluster.root().SendBasic(std::move(sub), cluster.network());
-  }
-  {
-    std::vector<TermId> seed;
-    for (size_t i = 0; i < query.atom.args.size(); ++i) {
-      if (!adornment[i]) continue;
-      seed.push_back(
-          GroundPattern(query.atom.args[i], Substitution(), ctx.arena()));
-    }
-    Message data;
-    data.kind = MessageKind::kTuples;
-    data.from = cluster.root().id();
-    data.to = query_rel.peer;
-    data.rel = input_rel;
-    data.tuples.push_back(std::move(seed));
-    cluster.root().SendBasic(std::move(data), cluster.network());
+  DatalogPeer& owner = cluster.peer(query.atom.rel.peer);
+  for (Message& m : SeedDemandMessages(ctx, query, cluster.root().id(),
+                                       Cluster::Mode::kSourceOnly)) {
+    cluster.root().SendBasic(std::move(m), cluster.network());
   }
   DQSQ_RETURN_IF_ERROR(
       cluster.RunUntilTermination(options.max_network_steps));
@@ -76,8 +40,8 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
   // RunUntilTermination fails the solve on a safety violation, so reaching
   // this point certifies quiescence at the instant of detection.
   result.quiescent_at_detection = true;
-  Atom answer_query{answer_rel, query.atom.args};
-  result.answers = Ask(owner.db(), answer_query, query.num_vars);
+  result.answers = Ask(owner.db(), AnswerAtom(ctx, query, Cluster::Mode::kSourceOnly),
+                       query.num_vars);
   result.net_stats = cluster.network().stats();
   result.total_facts = cluster.TotalFacts();
 

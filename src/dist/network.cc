@@ -77,10 +77,10 @@ void SimNetwork::Send(Message message) {
     // exact pre-crash sequence numbers, rebuilding the retransmit queue —
     // but nothing reaches the wire: receivers already saw the original
     // copies (or will, via the frozen copies' retransmits).
-    transport_->StampOutgoing(message, now_);
+    transport_->StampOutgoing(message, clock_.now());
     return;
   }
-  if (transport_ != nullptr && !transport_->StampOutgoing(message, now_)) {
+  if (transport_ != nullptr && !transport_->StampOutgoing(message, clock_.now())) {
     // Window full: the transport queued the message sender-side; PollWire
     // emits it once acks open the window.
     SyncTransportStats();
@@ -112,7 +112,7 @@ void SimNetwork::DeliverOrDelay(Message m) {
     ++stats_.delayed;
     CountMetric("dist.net.delayed", 1, {}, "messages");
     uint32_t window = std::max<uint32_t>(faults_.max_delay_steps, 1);
-    delayed_.emplace(now_ + 1 + fault_rng_.NextBelow(window), std::move(m));
+    delayed_.emplace(clock_.now() + 1 + fault_rng_.NextBelow(window), std::move(m));
     return;
   }
   PushToChannel(std::move(m));
@@ -132,7 +132,7 @@ void SimNetwork::PushToChannel(Message m) {
 }
 
 void SimNetwork::ReleaseDelayed() {
-  while (!delayed_.empty() && delayed_.begin()->first <= now_) {
+  while (!delayed_.empty() && delayed_.begin()->first <= clock_.now()) {
     Message m = std::move(delayed_.begin()->second);
     delayed_.erase(delayed_.begin());
     PushToChannel(std::move(m));
@@ -140,7 +140,7 @@ void SimNetwork::ReleaseDelayed() {
 }
 
 void SimNetwork::PumpTransport() {
-  for (Message& m : transport_->PollWire(now_)) {
+  for (Message& m : transport_->PollWire(clock_.now())) {
     if (m.kind == MessageKind::kTransportAck) {
       ++stats_.transport_acks;
       CountMetric("dist.net.transport_acks", 1, {}, "messages");
@@ -156,7 +156,7 @@ void SimNetwork::PumpTransport() {
 }
 
 StatusOr<bool> SimNetwork::Step() {
-  ++now_;
+  clock_.Advance();
   if (crash_enabled_) {
     EnsureInitialCheckpoints();
     ProcessCrashSchedule();
@@ -179,7 +179,7 @@ StatusOr<bool> SimNetwork::Step() {
     }
     for (const auto& [peer, at] : down_) consider(at);
     if (!pending) return false;
-    now_ = std::max(now_, next);
+    clock_.AdvanceTo(next);
     if (crash_enabled_) ProcessCrashSchedule();
     ReleaseDelayed();
     if (transport_ != nullptr) PumpTransport();
@@ -219,7 +219,7 @@ StatusOr<bool> SimNetwork::Step() {
 
   if (transport_ != nullptr) {
     ReliableTransport::Disposition disposition =
-        transport_->OnWireDelivery(message, now_);
+        transport_->OnWireDelivery(message, clock_.now());
     SyncTransportStats();
     switch (disposition) {
       case ReliableTransport::Disposition::kControl:
@@ -379,7 +379,7 @@ void SimNetwork::ProcessCrashSchedule() {
   if (!down_.empty()) {
     std::vector<SymbolId> due;
     for (const auto& [peer, at] : down_) {
-      if (at <= now_) due.push_back(peer);
+      if (at <= clock_.now()) due.push_back(peer);
     }
     for (SymbolId peer : due) RestartPeer(peer);
   }
@@ -387,7 +387,7 @@ void SimNetwork::ProcessCrashSchedule() {
   for (size_t i = 0; i < plan.crash_at_step.size(); ++i) {
     if (fired_.contains(i)) continue;
     const CrashEvent& event = plan.crash_at_step[i];
-    if (event.at_step > now_) continue;
+    if (event.at_step > clock_.now()) continue;
     fired_.insert(i);
     DQSQ_CHECK_LT(event.peer_index, restartable_.size())
         << "crash event targets a nonexistent restartable peer";
@@ -418,7 +418,7 @@ void SimNetwork::CrashPeer(SymbolId peer) {
   // keeps Seen()/AllPayloadDelivered() truthful while the peer is down.
   peers_.at(peer)->Crash();
   transport_->SetPeerDown(peer, true);
-  down_[peer] = now_ + faults_.crash.down_for;
+  down_[peer] = clock_.now() + faults_.crash.down_for;
 }
 
 void SimNetwork::RestartPeer(SymbolId peer) {
@@ -447,7 +447,7 @@ void SimNetwork::RestartPeer(SymbolId peer) {
     store_.Put(EpochKey(peer), w.Take());
   }
 
-  transport_->RestorePeer(snap, new_epoch, now_);
+  transport_->RestorePeer(snap, new_epoch, clock_.now());
   peers_.at(peer)->RestoreState(snap.peer_state);
   down_.erase(peer);
   transport_->SetPeerDown(peer, false);
@@ -461,7 +461,7 @@ void SimNetwork::RestartPeer(SymbolId peer) {
     SnapshotReader r(record);
     Message m = DecodeMessage(r);
     ReliableTransport::Disposition disposition =
-        transport_->OnWireDelivery(m, now_);
+        transport_->OnWireDelivery(m, clock_.now());
     if (disposition == ReliableTransport::Disposition::kDeliverFirst) {
       // The original processing succeeded; deterministic replay must too.
       DQSQ_CHECK_OK(peers_.at(peer)->OnMessage(m, *this));
@@ -485,7 +485,7 @@ void SimNetwork::RestartPeer(SymbolId peer) {
   // Epoch re-handshake: announce the new incarnation and the restored
   // resume points. Hellos travel the faulty wire unreliably — a lost one
   // self-heals because every subsequent emission re-stamps the epoch.
-  for (Message& hello : transport_->MakeHellos(peer, now_)) {
+  for (Message& hello : transport_->MakeHellos(peer, clock_.now())) {
     EnqueueWire(std::move(hello));
   }
 }

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -32,6 +33,23 @@
 namespace dqsq::dist {
 
 class PeerNode;
+
+/// The peer-facing transport surface: peers and drivers hand messages to
+/// Send() and receive deliveries through PeerNode::OnMessage. Implemented
+/// by the in-process SimNetwork below (virtual clock, seeded interleaving,
+/// fault injection) and by SocketNetwork (dist/socket_network.h: TCP
+/// between OS processes on the steady clock). Everything above the wire —
+/// the Datalog peers, both demand protocols, Dijkstra-Scholten termination
+/// — is written against this interface and runs unchanged on either one.
+class Network {
+ public:
+  virtual ~Network() = default;
+
+  /// Enqueues `message` for asynchronous delivery to `message.to`.
+  /// Delivery is exactly-once and FIFO per directed (from, to) channel;
+  /// cross-channel order is arbitrary.
+  virtual void Send(Message message) = 0;
+};
 
 /// One scheduled peer crash: at virtual time `at_step` the `peer_index`-th
 /// restartable peer (ascending SymbolId order) loses its volatile state.
@@ -113,7 +131,7 @@ struct NetworkStats {
   size_t wal_records = 0;        // write-ahead-logged deliveries
 };
 
-class SimNetwork {
+class SimNetwork : public Network {
  public:
   /// `force_reliable` engages the shim even under an inactive plan (used to
   /// measure the shim's own overhead on a perfect wire).
@@ -130,7 +148,7 @@ class SimNetwork {
   /// Dijkstra-Scholten ack routing at the receiver. With the reliable
   /// shim engaged, a send that exceeds the channel's flow-control window
   /// is queued sender-side and reaches the wire once acks open the window.
-  void Send(Message message);
+  void Send(Message message) override;
 
   /// Delivers one message from a randomly chosen non-empty channel.
   /// Returns false if no traffic exists or is pending; may return true
@@ -223,7 +241,7 @@ class SimNetwork {
   Rng fault_rng_;  // fault draws; never consulted when the plan is inactive
   FaultPlan faults_;
   std::unique_ptr<ReliableTransport> transport_;  // engaged iff plan active
-  uint64_t now_ = 0;  // virtual time: one tick per Step()
+  ManualClock clock_;  // virtual time: one tick per Step()
   std::map<SymbolId, PeerNode*> peers_;
   std::map<ChannelKey, std::deque<Message>> channels_;
   // Non-empty channels, sorted by key — maintained incrementally so Step()
@@ -257,7 +275,7 @@ class PeerNode {
  public:
   virtual ~PeerNode() = default;
   /// Handles one delivered message; may Send on `network`.
-  virtual Status OnMessage(const Message& message, SimNetwork& network) = 0;
+  virtual Status OnMessage(const Message& message, Network& network) = 0;
 
   // Crash-restart hooks (dist/snapshot.h). The default implementation
   // opts out: only peers that can serialize their full volatile state may

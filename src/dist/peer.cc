@@ -44,7 +44,7 @@ bool DatalogPeer::HasRulesFor(const RelId& rel) const {
   return false;
 }
 
-Status DatalogPeer::OnMessage(const Message& message, SimNetwork& network) {
+Status DatalogPeer::OnMessage(const Message& message, Network& network) {
   DQSQ_CHECK(!crashed_) << "message delivered to a crashed peer "
                         << ctx_->symbols().Name(id_)
                         << " (deliveries to down peers must be dropped at "
@@ -64,7 +64,7 @@ Status DatalogPeer::OnMessage(const Message& message, SimNetwork& network) {
   return status;
 }
 
-Status DatalogPeer::Dispatch(const Message& message, SimNetwork& network) {
+Status DatalogPeer::Dispatch(const Message& message, Network& network) {
   switch (message.kind) {
     case MessageKind::kTuples: {
       bool remote_owned = message.rel.peer != id_;
@@ -98,7 +98,7 @@ Status DatalogPeer::Dispatch(const Message& message, SimNetwork& network) {
 }
 
 Status DatalogPeer::Activate(const RelId& rel, SymbolId subscriber,
-                             bool has_subscriber, SimNetwork& network) {
+                             bool has_subscriber, Network& network) {
   DQSQ_CHECK_EQ(rel.peer, id_) << "activation routed to the wrong peer";
   if (has_subscriber && subscriber != id_) {
     subscribers_[rel].insert(subscriber);
@@ -127,7 +127,7 @@ Status DatalogPeer::Activate(const RelId& rel, SymbolId subscriber,
 }
 
 Status DatalogPeer::OnSubquery(const RelId& rel, const Adornment& adornment,
-                               SimNetwork& network) {
+                               Network& network) {
   DQSQ_CHECK_EQ(rel.peer, id_) << "subquery routed to the wrong peer";
   CountMetric("dist.peer.subqueries_received", 1, PeerLabels(ctx_, id_));
   return RewriteForPattern(rel, adornment, network);
@@ -135,7 +135,7 @@ Status DatalogPeer::OnSubquery(const RelId& rel, const Adornment& adornment,
 
 Status DatalogPeer::RewriteForPattern(const RelId& rel,
                                       const Adornment& adornment,
-                                      SimNetwork& network) {
+                                      Network& network) {
   auto key = std::make_pair(rel.pred, adornment);
   if (rewritten_.contains(key)) return Status::Ok();  // reuse machinery
   rewritten_.insert(key);
@@ -252,7 +252,7 @@ Status DatalogPeer::RewriteForPattern(const RelId& rel,
   return Status::Ok();
 }
 
-Status DatalogPeer::RunFixpointAndFlush(SimNetwork& network) {
+Status DatalogPeer::RunFixpointAndFlush(Network& network) {
   CountMetric("dist.peer.fixpoints", 1, PeerLabels(ctx_, id_));
   DQSQ_RETURN_IF_ERROR(Evaluate(program_, db_, eval_options_).status());
   // Stream owned relations to their subscribers (dnaive data flow).
@@ -272,7 +272,7 @@ Status DatalogPeer::RunFixpointAndFlush(SimNetwork& network) {
 }
 
 void DatalogPeer::FlushRelationTo(const RelId& rel, SymbolId target,
-                                  SimNetwork& network) {
+                                  Network& network) {
   if (target == id_) return;
   const Relation* relation = db_.Find(rel);
   if (relation == nullptr) return;
@@ -298,12 +298,12 @@ void DatalogPeer::FlushRelationTo(const RelId& rel, SymbolId target,
   if (!m.tuples.empty()) SendBasic(std::move(m), network);
 }
 
-void DatalogPeer::SendBasic(Message message, SimNetwork& network) {
+void DatalogPeer::SendBasic(Message message, Network& network) {
   ds_.OnSendBasic();
   network.Send(std::move(message));
 }
 
-void DatalogPeer::SendAck(SymbolId target, SimNetwork& network) {
+void DatalogPeer::SendAck(SymbolId target, Network& network) {
   Message ack;
   ack.kind = MessageKind::kAck;
   ack.from = id_;
@@ -311,7 +311,7 @@ void DatalogPeer::SendAck(SymbolId target, SimNetwork& network) {
   network.Send(std::move(ack));
 }
 
-void DatalogPeer::MaybeDisengage(SimNetwork& network) {
+void DatalogPeer::MaybeDisengage(Network& network) {
   // Our peers are passive whenever they are not processing a message, so
   // a zero deficit lets them disengage and ack the tree parent.
   if (ds_.TryDisengage()) {

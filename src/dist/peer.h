@@ -50,7 +50,7 @@ class DatalogPeer : public PeerNode {
   /// Adds a local extensional fact.
   void AddFact(const RelId& rel, std::span<const TermId> tuple);
 
-  Status OnMessage(const Message& message, SimNetwork& network) override;
+  Status OnMessage(const Message& message, Network& network) override;
 
   // Crash-restart hooks (dist/snapshot.h): a DatalogPeer serializes its
   // complete volatile state — materialized relations, installed and
@@ -68,15 +68,15 @@ class DatalogPeer : public PeerNode {
 
   /// Entry point used by drivers: activate `rel` here (dnaive).
   Status Activate(const RelId& rel, SymbolId subscriber, bool has_subscriber,
-                  SimNetwork& network);
+                  Network& network);
 
   /// Entry point used by drivers: process a subquery (dQSQ).
   Status OnSubquery(const RelId& rel, const Adornment& adornment,
-                    SimNetwork& network);
+                    Network& network);
 
   /// Runs the local fixpoint and ships what must move. Drivers call this
   /// once after seeding facts.
-  Status RunFixpointAndFlush(SimNetwork& network);
+  Status RunFixpointAndFlush(Network& network);
 
   size_t num_installed_rules() const { return program_.rules.size(); }
 
@@ -89,19 +89,19 @@ class DatalogPeer : public PeerNode {
 
   /// Rows of `rel` not yet shipped to `target` are sent as kTuples.
   void FlushRelationTo(const RelId& rel, SymbolId target,
-                       SimNetwork& network);
+                       Network& network);
 
   /// Sends a basic (non-ack) message, bumping the DS deficit.
-  void SendBasic(Message message, SimNetwork& network);
+  void SendBasic(Message message, Network& network);
 
   /// Sends an acknowledgment to `target`.
-  void SendAck(SymbolId target, SimNetwork& network);
+  void SendAck(SymbolId target, Network& network);
 
   /// Disengages (acking the tree parent) when passive with deficit 0.
-  void MaybeDisengage(SimNetwork& network);
+  void MaybeDisengage(Network& network);
 
   /// Handles one basic message (kAck is handled by OnMessage).
-  Status Dispatch(const Message& message, SimNetwork& network);
+  Status Dispatch(const Message& message, Network& network);
 
   /// True iff this peer has a source or evaluated rule whose head is
   /// `rel` (source rules take precedence for rewriting decisions).
@@ -111,7 +111,7 @@ class DatalogPeer : public PeerNode {
   /// results (kInstall for remote bodies, recursive handling for local
   /// subqueries, kSubquery for remote ones).
   Status RewriteForPattern(const RelId& rel, const Adornment& adornment,
-                           SimNetwork& network);
+                           Network& network);
 
   SymbolId id_;
   DatalogContext* ctx_;

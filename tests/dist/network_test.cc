@@ -14,7 +14,7 @@ class EchoPeer : public PeerNode {
   EchoPeer(SymbolId id, SymbolId next, int forwards)
       : id_(id), next_(next), forwards_(forwards) {}
 
-  Status OnMessage(const Message& message, SimNetwork& network) override {
+  Status OnMessage(const Message& message, Network& network) override {
     received.push_back(message);
     if (forwards_ > 0) {
       --forwards_;
@@ -320,7 +320,7 @@ TEST(SimNetworkTest, StepBudgetEnforced) {
   class Forever : public PeerNode {
    public:
     explicit Forever(SymbolId id) : id_(id) {}
-    Status OnMessage(const Message& message, SimNetwork& network) override {
+    Status OnMessage(const Message& message, Network& network) override {
       Message m = message;
       m.from = id_;
       m.to = message.from;

@@ -1,0 +1,210 @@
+#include "dist/socket_network.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace dqsq::dist {
+namespace {
+
+// Records deliveries; optionally echoes each message back to its sender.
+class RecordingPeer : public PeerNode {
+ public:
+  RecordingPeer(SymbolId id, bool echo) : id_(id), echo_(echo) {}
+
+  Status OnMessage(const Message& message, Network& network) override {
+    received.push_back(message);
+    if (echo_) {
+      Message reply = message;
+      reply.from = id_;
+      reply.to = message.from;
+      network.Send(std::move(reply));
+    }
+    return Status::Ok();
+  }
+
+  std::vector<Message> received;
+
+ private:
+  SymbolId id_;
+  bool echo_;
+};
+
+/// Alternates Pump(0) on both networks until `pred` or `rounds` runs out —
+/// a deterministic two-process interleaving inside one test process.
+template <typename Pred>
+void PumpBoth(SocketNetwork& a, SocketNetwork& b, const Pred& pred,
+              int rounds = 2000) {
+  for (int i = 0; i < rounds && !pred(); ++i) {
+    ASSERT_TRUE(a.Pump(1).ok());
+    ASSERT_TRUE(b.Pump(1).ok());
+  }
+  EXPECT_TRUE(pred()) << "condition not reached within pump budget";
+}
+
+// The no-supervisor loopback echo: two SocketNetworks with *separate*
+// DatalogContexts (so every id differs across them), wired by address
+// book only. Proves the socket transport + symbolic codec stack without
+// any cluster machinery.
+TEST(SocketNetworkTest, EchoAcrossTwoNetworksWithDistinctContexts) {
+  DatalogContext ctx_a;  // client side
+  DatalogContext ctx_b;  // echo side
+  // Different interning orders on purpose.
+  ctx_b.symbols().Intern("noise0");
+  ctx_b.symbols().Intern("noise1");
+
+  SocketNetwork a(ctx_a);
+  SocketNetwork b(ctx_b);
+  ASSERT_TRUE(a.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(b.Listen("127.0.0.1", 0).ok());
+
+  SymbolId client_a = ctx_a.symbols().Intern("client");
+  SymbolId echo_b = ctx_b.symbols().Intern("echo");
+  RecordingPeer client(client_a, /*echo=*/false);
+  RecordingPeer echo(echo_b, /*echo=*/true);
+  a.Register(client_a, &client);
+  b.Register(echo_b, &echo);
+  a.SetAddress("echo", SocketAddress{"127.0.0.1", b.listen_port()});
+  b.SetAddress("client", SocketAddress{"127.0.0.1", a.listen_port()});
+
+  Message m;
+  m.kind = MessageKind::kTuples;
+  m.from = client_a;
+  m.to = ctx_a.symbols().Intern("echo");
+  m.rel = RelId{ctx_a.InternPredicate("r", 2), ctx_a.symbols().Intern("echo")};
+  m.tuples.push_back(Tuple{
+      ctx_a.arena().MakeConstant(ctx_a.symbols().Intern("alpha")),
+      ctx_a.arena().MakeApp(ctx_a.symbols().Intern("f"),
+                            {ctx_a.arena().MakeConstant(
+                                ctx_a.symbols().Intern("beta"))})});
+  a.Send(m);
+
+  PumpBoth(a, b, [&] { return !client.received.empty(); });
+  ASSERT_EQ(echo.received.size(), 1u);
+  ASSERT_EQ(client.received.size(), 1u);
+
+  // The round trip crossed two re-internings; the rendered tuple must be
+  // identical to what was sent.
+  const Message& back = client.received[0];
+  ASSERT_EQ(back.tuples.size(), 1u);
+  ASSERT_EQ(back.tuples[0].size(), 2u);
+  EXPECT_EQ(ctx_a.arena().ToString(back.tuples[0][0], ctx_a.symbols()),
+            ctx_a.arena().ToString(m.tuples[0][0], ctx_a.symbols()));
+  EXPECT_EQ(ctx_a.arena().ToString(back.tuples[0][1], ctx_a.symbols()),
+            ctx_a.arena().ToString(m.tuples[0][1], ctx_a.symbols()));
+  EXPECT_EQ(ctx_a.symbols().Name(back.from), "echo");
+
+  EXPECT_EQ(a.stats().frames_sent, 1u);
+  EXPECT_EQ(a.stats().frames_received, 1u);
+  EXPECT_EQ(b.stats().messages_delivered, 1u);
+  EXPECT_EQ(b.stats().tuples_shipped, 1u);
+  EXPECT_GT(a.stats().bytes_sent, kFrameHeaderBytes);
+  EXPECT_EQ(a.stats().framing_errors, 0u);
+}
+
+TEST(SocketNetworkTest, LocalPeersLoopBackWithoutSockets) {
+  DatalogContext ctx;
+  SocketNetwork net(ctx);  // no Listen: purely local
+  SymbolId a_id = ctx.symbols().Intern("a");
+  SymbolId b_id = ctx.symbols().Intern("b");
+  RecordingPeer a(a_id, false), b(b_id, false);
+  net.Register(a_id, &a);
+  net.Register(b_id, &b);
+
+  Message m;
+  m.kind = MessageKind::kAck;
+  m.from = a_id;
+  m.to = b_id;
+  net.Send(m);
+  ASSERT_TRUE(net.Pump(0).ok());
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(net.stats().bytes_sent, 0u);  // never touched a socket
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+}
+
+TEST(SocketNetworkTest, SendToUnknownPeerSurfacesOnNextPump) {
+  DatalogContext ctx;
+  SocketNetwork net(ctx);
+  Message m;
+  m.kind = MessageKind::kAck;
+  m.from = ctx.symbols().Intern("a");
+  m.to = ctx.symbols().Intern("nowhere");
+  net.Send(m);
+  Status status = net.Pump(0);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("address book"), std::string::npos);
+  EXPECT_TRUE(net.Pump(0).ok());  // the error is reported once
+}
+
+TEST(SocketNetworkTest, ControlFramesReachTheHandlerWithReplies) {
+  DatalogContext ctx_a, ctx_b;
+  SocketNetwork a(ctx_a), b(ctx_b);
+  ASSERT_TRUE(a.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(b.Listen("127.0.0.1", 0).ok());
+
+  std::string got_on_b;
+  b.SetControlHandler([&](const Frame& frame, uint64_t conn_id) -> Status {
+    EXPECT_EQ(frame.type, FrameType::kHello);
+    got_on_b = frame.payload;
+    return b.SendControlOn(conn_id, FrameType::kStart, "welcome " +
+                                                           frame.payload);
+  });
+  std::string got_on_a;
+  a.SetControlHandler([&](const Frame& frame, uint64_t) -> Status {
+    EXPECT_EQ(frame.type, FrameType::kStart);
+    got_on_a = frame.payload;
+    return Status::Ok();
+  });
+
+  ASSERT_TRUE(a.SendControl(SocketAddress{"127.0.0.1", b.listen_port()},
+                            FrameType::kHello, "peer-7")
+                  .ok());
+  PumpBoth(a, b, [&] { return !got_on_a.empty(); });
+  EXPECT_EQ(got_on_b, "peer-7");
+  EXPECT_EQ(got_on_a, "welcome peer-7");
+}
+
+// A raw TCP client that writes garbage: the receiving Pump must fail,
+// count a framing error, and drop only that connection.
+TEST(SocketNetworkTest, GarbageBytesPoisonOnlyTheirConnection) {
+  DatalogContext ctx;
+  SocketNetwork net(ctx);
+  ASSERT_TRUE(net.Listen("127.0.0.1", 0).ok());
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(net.listen_port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const char junk[] = "garbage garbage garbage garbage";
+  ASSERT_GT(write(fd, junk, sizeof(junk)), 0);
+
+  Status status = Status::Ok();
+  for (int i = 0; i < 100 && status.ok() && net.stats().framing_errors == 0;
+       ++i) {
+    status = net.Pump(10);
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(net.stats().framing_errors, 1u);
+  EXPECT_TRUE(net.Pump(0).ok());  // the network itself stays usable
+  close(fd);
+}
+
+TEST(SocketNetworkTest, PumpUntilTimesOut) {
+  DatalogContext ctx;
+  SocketNetwork net(ctx);
+  Status status = net.PumpUntil([] { return false; }, 30);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("timed out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dqsq::dist

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Launcher for the multi-process cluster runner (docs/CLUSTER.md).
+
+Thin wrapper around `cluster_main --mode=supervisor`: locates the binary
+(building it first with --build if asked), forwards the workload flags,
+parses the supervisor's JSON report from stdout and exits non-zero when
+the run fails or — with --check-against-sim — when the real-wire answers
+differ from the SimNetwork reference run.
+
+Examples:
+  tools/run_cluster.py --procs 4 --engine dqsq --check-against-sim
+  tools/run_cluster.py --engine dnaive --program prog.dl \\
+      --query 'path@peer0(v0, Y)'
+  tools/run_cluster.py --build --procs 8 --chain-peers 12 --chain-edges 6
+"""
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def find_binary(build_dir):
+    path = pathlib.Path(build_dir) / "src" / "cluster_main"
+    if not path.is_file():
+        sys.exit(
+            f"cluster_main not found at {path}; build it first "
+            "(cmake --build build -j --target cluster_main) or pass --build"
+        )
+    return path
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--build-dir", default=str(REPO / "build"))
+    parser.add_argument(
+        "--build", action="store_true", help="build cluster_main first"
+    )
+    parser.add_argument("--engine", choices=["dnaive", "dqsq"], default="dqsq")
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="supervisor port (0 = kernel picks)"
+    )
+    parser.add_argument(
+        "--program", default="", help="dDatalog program file (default: chain)"
+    )
+    parser.add_argument("--query", default="path@peer0(v0, Y)")
+    parser.add_argument("--chain-peers", type=int, default=6)
+    parser.add_argument("--chain-edges", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--timeout-ms", type=int, default=60000)
+    parser.add_argument("--check-against-sim", action="store_true")
+    args = parser.parse_args()
+
+    if args.build:
+        subprocess.run(
+            ["cmake", "--build", args.build_dir, "-j", "--target",
+             "cluster_main"],
+            check=True,
+        )
+    binary = find_binary(args.build_dir)
+
+    cmd = [
+        str(binary),
+        "--mode=supervisor",
+        f"--engine={args.engine}",
+        f"--procs={args.procs}",
+        f"--host={args.host}",
+        f"--port={args.port}",
+        f"--query={args.query}",
+        f"--chain-peers={args.chain_peers}",
+        f"--chain-edges={args.chain_edges}",
+        f"--seed={args.seed}",
+        f"--timeout-ms={args.timeout_ms}",
+    ]
+    if args.program:
+        cmd.append(f"--program={args.program}")
+    if args.check_against_sim:
+        cmd.append("--check-against-sim")
+
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        sys.stdout.write(proc.stdout)
+        sys.exit(f"cluster run failed (exit {proc.returncode})")
+
+    report = json.loads(proc.stdout)
+    print(json.dumps(report, indent=2))
+    if args.check_against_sim and not report.get("answers_match_sim", False):
+        sys.exit("real-wire answers do NOT match the SimNetwork reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
