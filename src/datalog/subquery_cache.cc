@@ -1,0 +1,56 @@
+#include "datalog/subquery_cache.h"
+
+#include <utility>
+
+#include "common/metrics.h"
+
+namespace dqsq {
+
+SubqueryCache::SubqueryCache(size_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+bool SubqueryCache::Get(const std::string& key, std::string* value) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    CountMetric("datalog.subcache.misses");
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (value != nullptr) *value = it->second->value;
+  ++hits_;
+  CountMetric("datalog.subcache.hits");
+  return true;
+}
+
+void SubqueryCache::Put(const std::string& key, std::string value) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->key.size() + it->second->value.size();
+    bytes_ += key.size() + value.size();
+    it->second->value = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    EvictToBudget();
+    return;
+  }
+  const size_t entry_bytes = key.size() + value.size();
+  if (entry_bytes > capacity_bytes_) return;  // would evict everything
+  lru_.push_front(Entry{key, std::move(value)});
+  index_.emplace(key, lru_.begin());
+  bytes_ += entry_bytes;
+  CountMetric("datalog.subcache.insertions");
+  EvictToBudget();
+}
+
+void SubqueryCache::EvictToBudget() {
+  while (bytes_ > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.key.size() + victim.value.size();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+    CountMetric("datalog.subcache.evictions");
+  }
+}
+
+}  // namespace dqsq

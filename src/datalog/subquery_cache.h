@@ -1,0 +1,68 @@
+// Cross-query subquery memoization. QSQ's win (paper §3.1/§3.2) is that a
+// subquery posed twice is answered from the materialization the first call
+// left behind — but that reuse is scoped to one database. SubqueryCache
+// lifts it across databases: a byte-budgeted LRU map from a canonical
+// subquery key (caller-defined; the diagnosis service keys on the
+// per-peer observation prefix, which fully determines the versioned
+// query's answers) to an opaque serialized answer blob. Sessions sharing
+// one cache therefore share each other's demand-driven work — the
+// memoization the paper sets up per query, made cross-session.
+//
+// Single-threaded like the rest of the evaluation core; hit/miss/eviction
+// tallies also feed the global metrics registry under `datalog.subcache.*`.
+#ifndef DQSQ_DATALOG_SUBQUERY_CACHE_H_
+#define DQSQ_DATALOG_SUBQUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+namespace dqsq {
+
+class SubqueryCache {
+ public:
+  /// `capacity_bytes` bounds the resident total of key + value bytes;
+  /// least-recently-used entries are evicted to stay under it. 0 disables
+  /// caching entirely (every Get misses, Put is a no-op).
+  explicit SubqueryCache(size_t capacity_bytes);
+
+  SubqueryCache(const SubqueryCache&) = delete;
+  SubqueryCache& operator=(const SubqueryCache&) = delete;
+
+  /// Looks `key` up; on hit copies the cached blob into `*value` (if
+  /// non-null), marks the entry most-recently-used and returns true.
+  bool Get(const std::string& key, std::string* value);
+
+  /// Inserts or replaces `key`, then evicts LRU entries until the byte
+  /// budget holds again. An entry larger than the whole budget is not
+  /// admitted.
+  void Put(const std::string& key, std::string value);
+
+  size_t entries() const { return index_.size(); }
+  size_t bytes() const { return bytes_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  void EvictToBudget();
+
+  size_t capacity_bytes_;
+  size_t bytes_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace dqsq
+
+#endif  // DQSQ_DATALOG_SUBQUERY_CACHE_H_

@@ -1,6 +1,7 @@
 #include "diagnosis/online.h"
 
 #include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "diagnosis/encoder.h"
@@ -16,14 +17,11 @@ std::string StateConst(const std::string& peer, uint32_t s) {
 
 }  // namespace
 
-StatusOr<OnlineDiagnoser> OnlineDiagnoser::Create(
-    const petri::PetriNet& net, const OnlineOptions& options) {
-  OnlineDiagnoser d;
-  d.options_ = options;
-  d.ctx_ = std::make_unique<DatalogContext>();
-  d.db_ = std::make_unique<Database>(d.ctx_.get());
+StatusOr<OnlineModel> OnlineModel::Build(const petri::PetriNet& net) {
+  OnlineModel model;
+  model.ctx = std::make_shared<DatalogContext>();
 
-  DQSQ_ASSIGN_OR_RETURN(EncodedNet encoded, EncodeNet(net, *d.ctx_));
+  DQSQ_ASSIGN_OR_RETURN(EncodedNet encoded, EncodeNet(net, *model.ctx));
   // Open chain automata for every peer: edges arrive as facts.
   std::map<std::string, AlarmAutomaton> automata;
   for (petri::PeerIndex p = 0; p < net.num_peers(); ++p) {
@@ -37,15 +35,34 @@ StatusOr<OnlineDiagnoser> OnlineDiagnoser::Create(
   sopts.emit_query = false;
   DQSQ_ASSIGN_OR_RETURN(
       SupervisorProgram sup,
-      BuildSupervisor(net, encoded, automata, sopts, *d.ctx_));
+      BuildSupervisor(net, encoded, automata, sopts, *model.ctx));
 
-  d.program_ = std::move(encoded.program);
+  model.base_program = std::move(encoded.program);
   for (Rule& rule : sup.program.rules) {
-    d.program_.rules.push_back(std::move(rule));
+    model.base_program.rules.push_back(std::move(rule));
   }
-  d.supervisor_ = d.ctx_->symbols().Name(sup.supervisor);
-  d.observed_peers_ = sup.observed_peers;
+  model.supervisor = model.ctx->symbols().Name(sup.supervisor);
+  model.observed_peers = sup.observed_peers;
+  return model;
+}
+
+StatusOr<OnlineDiagnoser> OnlineDiagnoser::Create(
+    const petri::PetriNet& net, const OnlineOptions& options) {
+  DQSQ_ASSIGN_OR_RETURN(OnlineModel model, OnlineModel::Build(net));
+  return CreateShared(model, options);
+}
+
+OnlineDiagnoser OnlineDiagnoser::CreateShared(const OnlineModel& model,
+                                              const OnlineOptions& options) {
+  OnlineDiagnoser d;
+  d.options_ = options;
+  d.ctx_ = model.ctx;
+  d.db_ = std::make_unique<Database>(d.ctx_.get());
+  d.program_ = model.base_program;
+  d.supervisor_ = model.supervisor;
+  d.observed_peers_ = model.observed_peers;
   for (const std::string& peer : d.observed_peers_) d.counts_[peer] = 0;
+  d.base_rules_ = d.program_.rules.size();
   return d;
 }
 
@@ -55,6 +72,14 @@ StatusOr<std::vector<Explanation>> OnlineDiagnoser::Observe(
   if (it == counts_.end()) {
     return InvalidArgumentError("alarm from unknown peer " + alarm.peer);
   }
+  // The query rule of the previous step is superseded by this alarm: prune
+  // it before snapshotting the rollback point, so the rollback below is a
+  // plain truncation. A rolled-back (or merely queried) state re-emits its
+  // rule deterministically in Solve().
+  PruneQueryRule();
+  const size_t rules_before = program_.rules.size();
+  const bool had_current = has_current_;
+
   // One new chain edge: st_p_i --a--> st_p_{i+1}.
   RuleBuilder b(ctx_.get());
   uint32_t i = it->second;
@@ -66,7 +91,51 @@ StatusOr<std::vector<Explanation>> OnlineDiagnoser::Observe(
   ++it->second;
   ++step_;
   has_current_ = false;
-  return Solve();
+
+  StatusOr<std::vector<Explanation>> result = Solve();
+  if (!result.ok()) {
+    // Transactional rollback: Solve() already removed the query rule it
+    // emitted, so truncating drops exactly the chain edge. Derived facts
+    // stay — they are sound and monotone, and a retry continues from them.
+    DQSQ_CHECK(program_.rules.size() == rules_before + 1);
+    program_.rules.resize(rules_before);
+    --it->second;
+    --step_;
+    has_current_ = had_current;
+  }
+  return result;
+}
+
+Status OnlineDiagnoser::ApplyObservationOnly(const petri::Alarm& alarm) {
+  auto it = counts_.find(alarm.peer);
+  if (it == counts_.end()) {
+    return InvalidArgumentError("alarm from unknown peer " + alarm.peer);
+  }
+  PruneQueryRule();
+  RuleBuilder b(ctx_.get());
+  uint32_t i = it->second;
+  program_.rules.push_back(b.Build(
+      b.MakeAtom("aedge_" + alarm.peer, supervisor_,
+                 {b.C(StateConst(alarm.peer, i)), b.C("al_" + alarm.symbol),
+                  b.C(StateConst(alarm.peer, i + 1))}),
+      {}));
+  ++it->second;
+  ++step_;
+  has_current_ = false;
+  return Status::Ok();
+}
+
+Status OnlineDiagnoser::ObserveCached(const petri::Alarm& alarm,
+                                      std::vector<Explanation> explanations) {
+  DQSQ_RETURN_IF_ERROR(ApplyObservationOnly(alarm));
+  RestoreCurrent(std::move(explanations));
+  last_new_facts_ = 0;  // nothing evaluated
+  return Status::Ok();
+}
+
+void OnlineDiagnoser::RestoreCurrent(std::vector<Explanation> explanations) {
+  current_explanations_ = std::move(explanations);
+  has_current_ = true;
 }
 
 StatusOr<std::vector<Explanation>> OnlineDiagnoser::Current() {
@@ -74,21 +143,39 @@ StatusOr<std::vector<Explanation>> OnlineDiagnoser::Current() {
   return Solve();
 }
 
+void OnlineDiagnoser::PruneQueryRule() {
+  if (!query_rule_present_) return;
+  program_.rules.erase(program_.rules.begin() +
+                       static_cast<std::ptrdiff_t>(query_rule_index_));
+  query_rule_present_ = false;
+}
+
 StatusOr<std::vector<Explanation>> OnlineDiagnoser::Solve() {
   // Versioned query: q_<step>(Z, X) :- cfgp(Z, W, Y, st_p1_c1, ...,
   // st_pm_cm), inconf(Z, X) — the automaton positions are inlined
-  // constants, so the demand is fully bound on the index columns.
-  RuleBuilder b(ctx_.get());
+  // constants, so the demand is fully bound on the index columns. The rule
+  // is emitted at most once per step: a retried Solve (after a budget
+  // failure) or a Current() call after ObserveCached finds it absent and
+  // regenerates it; a Current() retry while it is resident reuses it.
   const std::string qname = "q_" + std::to_string(step_);
-  std::vector<Pattern> cfgp_args{b.V("Z"), b.V("W"), b.V("Y")};
-  for (const std::string& peer : observed_peers_) {
-    cfgp_args.push_back(b.C(StateConst(peer, counts_.at(peer))));
+  bool emitted = false;
+  if (!query_rule_present_ || query_rule_step_ != step_) {
+    PruneQueryRule();
+    RuleBuilder b(ctx_.get());
+    std::vector<Pattern> cfgp_args{b.V("Z"), b.V("W"), b.V("Y")};
+    for (const std::string& peer : observed_peers_) {
+      cfgp_args.push_back(b.C(StateConst(peer, counts_.at(peer))));
+    }
+    Atom head = b.MakeAtom(qname, supervisor_, {b.V("Z"), b.V("X")});
+    Atom cfgp = b.MakeAtom("cfgp", supervisor_, std::move(cfgp_args));
+    Atom inconf = b.MakeAtom("inconf", supervisor_, {b.V("Z"), b.V("X")});
+    program_.rules.push_back(
+        b.Build(std::move(head), {std::move(cfgp), std::move(inconf)}));
+    query_rule_present_ = true;
+    query_rule_index_ = program_.rules.size() - 1;
+    query_rule_step_ = step_;
+    emitted = true;
   }
-  Atom head = b.MakeAtom(qname, supervisor_, {b.V("Z"), b.V("X")});
-  Atom cfgp = b.MakeAtom("cfgp", supervisor_, std::move(cfgp_args));
-  Atom inconf = b.MakeAtom("inconf", supervisor_, {b.V("Z"), b.V("X")});
-  program_.rules.push_back(
-      b.Build(std::move(head), {std::move(cfgp), std::move(inconf)}));
 
   ParsedQuery query;
   query.num_vars = 2;
@@ -100,13 +187,16 @@ StatusOr<std::vector<Explanation>> OnlineDiagnoser::Solve() {
   EvalOptions eopts;
   eopts.max_facts = options_.max_facts;
   const size_t before = db_->TotalFacts();
-  DQSQ_ASSIGN_OR_RETURN(
-      QueryResult qres,
-      SolveQuery(program_, *db_, query, Strategy::kQsq, eopts));
+  StatusOr<QueryResult> qres =
+      SolveQuery(program_, *db_, query, Strategy::kQsq, eopts);
+  if (!qres.ok()) {
+    if (emitted) PruneQueryRule();
+    return qres.status();
+  }
   last_new_facts_ = db_->TotalFacts() - before;
 
   std::map<TermId, std::vector<std::string>> by_config;
-  for (const Tuple& row : qres.answers) {
+  for (const Tuple& row : qres->answers) {
     auto& events = by_config[row[0]];
     std::string term = ctx_->arena().ToString(row[1], ctx_->symbols());
     if (term != "r") events.push_back(std::move(term));

@@ -1,11 +1,27 @@
 // Online diagnosis: alarms arrive one at a time, and the supervisor keeps
 // its materialization across steps (the paper's Remark 2 — results may
 // flow before the computation is complete — and the incremental spirit of
-// Remark 5). Each observed alarm adds one automaton-edge fact and one
-// versioned query rule to the accumulated program; demand-driven
-// evaluation over the shared database then computes only the delta: the
-// unfolding fragment materialized for the previous prefix is reused, never
-// re-derived.
+// Remark 5). Each observed alarm adds one automaton-edge fact to the
+// accumulated program; demand-driven evaluation over the shared database
+// then computes only the delta: the unfolding fragment materialized for the
+// previous prefix is reused, never re-derived. The program carries at most
+// one versioned query rule at a time — the rule for the current step —
+// superseded query rules are pruned (their derived facts stay, which is
+// the reuse §3.2 is about).
+//
+// State-mutation contract: Observe is transactional. A failed evaluation
+// (e.g. the per-step fact budget) rolls the appended chain edge, the
+// per-peer counter, the step counter and the query rule back, so a retry
+// never duplicates an edge or a query rule. Facts already derived by the
+// failed evaluation stay in the database — derivations are sound and
+// monotone, so a retry simply continues from them.
+//
+// Multi-tenant sharing (docs/ARCHITECTURE.md §service): the encoder and
+// supervisor output for one plant model is session-independent, so
+// OnlineModel::Build factors it out. Sessions created from one model via
+// CreateShared share the model's DatalogContext — one hash-consed term
+// arena, symbol table and predicate registry across every session — while
+// each session keeps its own Database and rule tail.
 #ifndef DQSQ_DIAGNOSIS_ONLINE_H_
 #define DQSQ_DIAGNOSIS_ONLINE_H_
 
@@ -27,6 +43,21 @@ struct OnlineOptions {
   size_t max_facts = 5'000'000;
 };
 
+/// The session-independent part of an online diagnoser for one plant
+/// model: the shared naming context (term arena, symbols, predicates) and
+/// the encoded base program (net encoding + open-automaton supervisor).
+/// Build once per plant model; every session of that model copies the base
+/// rules but shares the context, so hash-consed terms are interned exactly
+/// once across all sessions.
+struct OnlineModel {
+  std::shared_ptr<DatalogContext> ctx;
+  Program base_program;
+  std::string supervisor;
+  std::vector<std::string> observed_peers;
+
+  static StatusOr<OnlineModel> Build(const petri::PetriNet& net);
+};
+
 class OnlineDiagnoser {
  public:
   /// Prepares the encoder and supervisor programs for `net`. Every peer
@@ -34,12 +65,37 @@ class OnlineDiagnoser {
   static StatusOr<OnlineDiagnoser> Create(const petri::PetriNet& net,
                                           const OnlineOptions& options);
 
+  /// A session over a prebuilt model, sharing the model's DatalogContext
+  /// (and therefore its term arena) with every other session of the model.
+  static OnlineDiagnoser CreateShared(const OnlineModel& model,
+                                      const OnlineOptions& options);
+
   OnlineDiagnoser(OnlineDiagnoser&&) = default;
   OnlineDiagnoser& operator=(OnlineDiagnoser&&) = default;
 
   /// Feeds the next alarm and returns the explanations of the whole prefix
   /// observed so far. Fails for alarms from peers the net does not have.
+  /// Transactional: on evaluation failure every state mutation is rolled
+  /// back, so the same alarm can be retried (e.g. after raising the
+  /// budget) without duplicating the chain edge or the query rule.
   StatusOr<std::vector<Explanation>> Observe(const petri::Alarm& alarm);
+
+  /// Applies the alarm's state mutation (chain edge, counters) without
+  /// evaluating, and installs `explanations` as the current answer. Used
+  /// when a cross-session prefix cache already knows the answer for the
+  /// resulting prefix; the skipped evaluation re-runs on demand at the
+  /// next cache miss (demand-driven evaluation does not depend on the
+  /// intermediate steps having been materialized).
+  Status ObserveCached(const petri::Alarm& alarm,
+                       std::vector<Explanation> explanations);
+
+  /// Applies the alarm's state mutation only; the current answer becomes
+  /// unknown (computed on the next Current/Observe). Hibernation restore
+  /// replays a session's alarm history through this.
+  Status ApplyObservationOnly(const petri::Alarm& alarm);
+
+  /// Installs `explanations` as the (already computed) current answer.
+  void RestoreCurrent(std::vector<Explanation> explanations);
 
   /// Explanations of the current prefix (empty prefix: the empty run).
   /// Cached from the last Observe; computed on first call.
@@ -54,15 +110,36 @@ class OnlineDiagnoser {
   /// New facts derived by the most recent evaluation only.
   size_t last_step_new_facts() const { return last_new_facts_; }
 
+  /// Rules currently in the program: base rules + one chain-edge fact per
+  /// observed alarm + at most one versioned query rule. The bound is the
+  /// regression pin for the query-rule pruning fix.
+  size_t num_rules() const { return program_.rules.size(); }
+
+  /// Rules the session started with (before any alarm).
+  size_t base_rules() const { return base_rules_; }
+
+  /// Whether the current answer is cached (no evaluation on Current()).
+  bool has_current() const { return has_current_; }
+
+  /// Adjusts the per-evaluation fact budget (admission control hands
+  /// sessions differentiated budgets; a budget-failed Observe may be
+  /// retried after raising it).
+  void set_max_facts(size_t max_facts) { options_.max_facts = max_facts; }
+  size_t max_facts() const { return options_.max_facts; }
+
  private:
   OnlineDiagnoser() = default;
 
-  /// Appends the versioned query rule q_<step> for the current per-peer
-  /// positions and evaluates it.
+  /// Emits the versioned query rule q_<step> for the current per-peer
+  /// positions — at most once per step, pruning the superseded rule — and
+  /// evaluates it. On failure the emitted rule is removed again.
   StatusOr<std::vector<Explanation>> Solve();
 
+  /// Removes the resident versioned query rule, if any.
+  void PruneQueryRule();
+
   OnlineOptions options_;
-  std::unique_ptr<DatalogContext> ctx_;
+  std::shared_ptr<DatalogContext> ctx_;
   std::unique_ptr<Database> db_;
   Program program_;
   std::string supervisor_;
@@ -72,6 +149,12 @@ class OnlineDiagnoser {
   std::map<std::string, uint32_t> counts_;
   size_t step_ = 0;
   size_t last_new_facts_ = 0;
+  size_t base_rules_ = 0;
+  // The one resident versioned query rule (satellites: emitted at most
+  // once per step, superseded rules pruned).
+  bool query_rule_present_ = false;
+  size_t query_rule_index_ = 0;
+  size_t query_rule_step_ = 0;
 };
 
 }  // namespace dqsq::diagnosis

@@ -1,0 +1,294 @@
+#include "diagnosis/service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace dqsq::diagnosis {
+
+namespace {
+
+void UpdateGauge(const char* name, int64_t value) {
+  MetricsRegistry::Global().GetGauge(name).Set(value);
+}
+
+}  // namespace
+
+void EncodeExplanations(const std::vector<Explanation>& explanations,
+                        dist::SnapshotWriter& w) {
+  w.U32(static_cast<uint32_t>(explanations.size()));
+  for (const Explanation& e : explanations) {
+    w.U32(static_cast<uint32_t>(e.events.size()));
+    for (const std::string& event : e.events) w.Str(event);
+  }
+}
+
+std::vector<Explanation> DecodeExplanations(dist::SnapshotReader& r) {
+  std::vector<Explanation> out(r.U32());
+  for (Explanation& e : out) {
+    e.events.resize(r.U32());
+    for (std::string& event : e.events) event = r.Str();
+  }
+  return out;
+}
+
+std::string ObservationPrefixKey(const petri::AlarmSequence& history) {
+  // SplitByPeer yields the per-peer subsequences in sorted peer order —
+  // the observation semantics of §4.2, under which the cross-peer
+  // interleaving is irrelevant to the explanations.
+  std::string key;
+  for (const auto& [peer, symbols] : petri::SplitByPeer(history)) {
+    key += peer;
+    key += ':';
+    for (const std::string& symbol : symbols) {
+      key += symbol;
+      key += ',';
+    }
+    key += '|';
+  }
+  return key;
+}
+
+DiagnosisService::DiagnosisService(const ServiceOptions& options)
+    : options_(options) {
+  if (options_.max_resident_sessions == 0) options_.max_resident_sessions = 1;
+  if (options_.store == nullptr) {
+    owned_store_ = std::make_unique<dist::InMemoryDurableStore>();
+    store_ = owned_store_.get();
+  } else {
+    store_ = options_.store;
+  }
+}
+
+Status DiagnosisService::RegisterModel(const std::string& model,
+                                       const petri::PetriNet& net) {
+  if (models_.count(model) != 0) {
+    return AlreadyExistsError("model already registered: " + model);
+  }
+  DQSQ_ASSIGN_OR_RETURN(OnlineModel built, OnlineModel::Build(net));
+  models_.emplace(model, std::make_unique<ModelEntry>(
+                             model, std::move(built), options_.cache_bytes));
+  return Status::Ok();
+}
+
+Status DiagnosisService::OpenSession(const std::string& session,
+                                     const std::string& model) {
+  if (sessions_.count(session) != 0) {
+    return AlreadyExistsError("session already open: " + session);
+  }
+  if (sessions_.size() >= options_.max_sessions) {
+    CountMetric("diag.service.sessions_rejected");
+    return ResourceExhaustedError(
+        "admission: session cap reached (" +
+        std::to_string(options_.max_sessions) + ")");
+  }
+  auto mit = models_.find(model);
+  if (mit == models_.end()) {
+    return NotFoundError("unknown model: " + model);
+  }
+  auto s = std::make_unique<Session>();
+  s->name = session;
+  s->model = mit->second.get();
+  s->max_facts = options_.session_max_facts;
+  s->diagnoser = std::make_unique<OnlineDiagnoser>(OnlineDiagnoser::CreateShared(
+      s->model->model, OnlineOptions{s->max_facts}));
+  s->lru_pos = resident_lru_.insert(resident_lru_.begin(), s.get());
+  Session* raw = s.get();
+  sessions_.emplace(session, std::move(s));
+  CountMetric("diag.service.sessions_admitted");
+  Status cap = EnforceResidencyCap(raw);
+  UpdateGauge("diag.service.sessions", static_cast<int64_t>(sessions_.size()));
+  UpdateGauge("diag.service.resident",
+              static_cast<int64_t>(resident_lru_.size()));
+  return cap;
+}
+
+Status DiagnosisService::CloseSession(const std::string& session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return NotFoundError("unknown session: " + session);
+  }
+  Session& s = *it->second;
+  if (s.diagnoser) resident_lru_.erase(s.lru_pos);
+  sessions_.erase(it);
+  CountMetric("diag.service.sessions_closed");
+  UpdateGauge("diag.service.sessions", static_cast<int64_t>(sessions_.size()));
+  UpdateGauge("diag.service.resident",
+              static_cast<int64_t>(resident_lru_.size()));
+  return Status::Ok();
+}
+
+DiagnosisService::Session* DiagnosisService::FindSession(
+    const std::string& session) {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool DiagnosisService::is_resident(const std::string& session) const {
+  auto it = sessions_.find(session);
+  return it != sessions_.end() && it->second->diagnoser != nullptr;
+}
+
+StatusOr<size_t> DiagnosisService::NumObserved(
+    const std::string& session) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    return NotFoundError("unknown session: " + session);
+  }
+  return it->second->history.size();
+}
+
+const SubqueryCache* DiagnosisService::cache(const std::string& model) const {
+  auto it = models_.find(model);
+  return it == models_.end() ? nullptr : &it->second->cache;
+}
+
+Status DiagnosisService::SetSessionBudget(const std::string& session,
+                                          size_t max_facts) {
+  Session* s = FindSession(session);
+  if (s == nullptr) return NotFoundError("unknown session: " + session);
+  s->max_facts = max_facts;
+  if (s->diagnoser) s->diagnoser->set_max_facts(max_facts);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<Explanation>> DiagnosisService::Observe(
+    const std::string& session, const petri::Alarm& alarm) {
+  Session* s = FindSession(session);
+  if (s == nullptr) return NotFoundError("unknown session: " + session);
+  ScopedTimer timer(TimeMetric("diag.service.alarm_latency"));
+  DQSQ_RETURN_IF_ERROR(EnsureResident(*s));
+  TouchResident(*s);
+  CountMetric("diag.service.alarms");
+
+  // Key of the prefix this alarm would produce. An unknown-peer alarm
+  // yields a key no successful observation can ever have cached, so the
+  // lookup harmlessly misses before the diagnoser rejects the alarm.
+  petri::AlarmSequence next = s->history;
+  next.push_back(alarm);
+  const std::string key = ObservationPrefixKey(next);
+
+  std::string blob;
+  if (options_.cache_bytes > 0 && s->model->cache.Get(key, &blob)) {
+    dist::SnapshotReader r(blob);
+    std::vector<Explanation> explanations = DecodeExplanations(r);
+    DQSQ_RETURN_IF_ERROR(s->diagnoser->ObserveCached(alarm, explanations));
+    s->history.push_back(alarm);
+    CountMetric("diag.service.cache_hits");
+    return explanations;
+  }
+  CountMetric("diag.service.cache_misses");
+
+  StatusOr<std::vector<Explanation>> result = s->diagnoser->Observe(alarm);
+  if (!result.ok()) return result;  // Observe is transactional: no cleanup
+  s->history.push_back(alarm);
+  if (options_.cache_bytes > 0) {
+    dist::SnapshotWriter w;
+    EncodeExplanations(*result, w);
+    s->model->cache.Put(key, w.Take());
+  }
+  return result;
+}
+
+StatusOr<std::vector<Explanation>> DiagnosisService::Current(
+    const std::string& session) {
+  Session* s = FindSession(session);
+  if (s == nullptr) return NotFoundError("unknown session: " + session);
+  DQSQ_RETURN_IF_ERROR(EnsureResident(*s));
+  TouchResident(*s);
+  return s->diagnoser->Current();
+}
+
+Status DiagnosisService::Hibernate(const std::string& session) {
+  Session* s = FindSession(session);
+  if (s == nullptr) return NotFoundError("unknown session: " + session);
+  return HibernateSession(*s);
+}
+
+std::string DiagnosisService::SerializeSession(Session& s) {
+  DQSQ_CHECK(s.diagnoser != nullptr);
+  dist::SnapshotWriter w;
+  w.Str(s.name);
+  w.Str(s.model->name);
+  w.U64(s.history.size());
+  for (const petri::Alarm& alarm : s.history) {
+    w.Str(alarm.symbol);
+    w.Str(alarm.peer);
+  }
+  const bool has_current = s.diagnoser->has_current();
+  w.Bool(has_current);
+  if (has_current) {
+    // has_current() guarantees Current() returns the cached copy without
+    // evaluating.
+    StatusOr<std::vector<Explanation>> current = s.diagnoser->Current();
+    DQSQ_CHECK_OK(current.status());
+    EncodeExplanations(*current, w);
+  }
+  return w.Take();
+}
+
+Status DiagnosisService::HibernateSession(Session& s) {
+  if (!s.diagnoser) return Status::Ok();
+  store_->Put(StoreKey(s), SerializeSession(s));
+  resident_lru_.erase(s.lru_pos);
+  s.diagnoser.reset();
+  CountMetric("diag.service.sessions_hibernated");
+  UpdateGauge("diag.service.resident",
+              static_cast<int64_t>(resident_lru_.size()));
+  return Status::Ok();
+}
+
+Status DiagnosisService::EnsureResident(Session& s) {
+  if (s.diagnoser) return Status::Ok();
+  std::optional<std::string> blob = store_->Get(StoreKey(s));
+  if (!blob.has_value()) {
+    return InternalError("hibernation image missing for session " + s.name);
+  }
+  dist::SnapshotReader r(*blob);
+  const std::string name = r.Str();
+  const std::string model = r.Str();
+  DQSQ_CHECK(name == s.name) << "hibernation image names " << name;
+  DQSQ_CHECK(model == s.model->name);
+  const uint64_t n = r.U64();
+  DQSQ_CHECK(n == s.history.size());
+  petri::AlarmSequence history;
+  history.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    petri::Alarm alarm;
+    alarm.symbol = r.Str();
+    alarm.peer = r.Str();
+    history.push_back(std::move(alarm));
+  }
+  auto d = std::make_unique<OnlineDiagnoser>(OnlineDiagnoser::CreateShared(
+      s.model->model, OnlineOptions{s.max_facts}));
+  for (const petri::Alarm& alarm : history) {
+    DQSQ_RETURN_IF_ERROR(d->ApplyObservationOnly(alarm));
+  }
+  if (r.Bool()) d->RestoreCurrent(DecodeExplanations(r));
+  DQSQ_CHECK(r.AtEnd());
+  s.history = std::move(history);
+  s.diagnoser = std::move(d);
+  s.lru_pos = resident_lru_.insert(resident_lru_.begin(), &s);
+  CountMetric("diag.service.sessions_restored");
+  Status cap = EnforceResidencyCap(&s);
+  UpdateGauge("diag.service.resident",
+              static_cast<int64_t>(resident_lru_.size()));
+  return cap;
+}
+
+void DiagnosisService::TouchResident(Session& s) {
+  DQSQ_CHECK(s.diagnoser != nullptr);
+  resident_lru_.splice(resident_lru_.begin(), resident_lru_, s.lru_pos);
+}
+
+Status DiagnosisService::EnforceResidencyCap(Session* keep) {
+  while (resident_lru_.size() > options_.max_resident_sessions) {
+    Session* victim = resident_lru_.back();
+    if (victim == keep) break;  // never evict the session being served
+    DQSQ_RETURN_IF_ERROR(HibernateSession(*victim));
+  }
+  return Status::Ok();
+}
+
+}  // namespace dqsq::diagnosis

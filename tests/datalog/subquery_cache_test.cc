@@ -1,0 +1,62 @@
+#include "datalog/subquery_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dqsq {
+namespace {
+
+TEST(SubqueryCacheTest, PutGetAndStats) {
+  SubqueryCache cache(1024);
+  std::string value;
+  EXPECT_FALSE(cache.Get("k", &value));
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.Put("k", "answer");
+  ASSERT_TRUE(cache.Get("k", &value));
+  EXPECT_EQ(value, "answer");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), std::string("k").size() + value.size());
+}
+
+TEST(SubqueryCacheTest, PutReplacesAndUpdatesBytes) {
+  SubqueryCache cache(1024);
+  cache.Put("k", "short");
+  cache.Put("k", "a-much-longer-value");
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 1u + 19u);
+  std::string value;
+  ASSERT_TRUE(cache.Get("k", &value));
+  EXPECT_EQ(value, "a-much-longer-value");
+}
+
+TEST(SubqueryCacheTest, EvictsLeastRecentlyUsedToBudget) {
+  // Each entry is 4 bytes (1 key + 3 value); budget holds two of them.
+  SubqueryCache cache(8);
+  cache.Put("a", "aaa");
+  cache.Put("b", "bbb");
+  ASSERT_TRUE(cache.Get("a", nullptr));  // a is now most recently used
+  cache.Put("c", "ccc");                 // evicts b
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Get("a", nullptr));
+  EXPECT_FALSE(cache.Get("b", nullptr));
+  EXPECT_TRUE(cache.Get("c", nullptr));
+}
+
+TEST(SubqueryCacheTest, OversizedEntryNotAdmitted) {
+  SubqueryCache cache(4);
+  cache.Put("key", "value-way-over-budget");
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(SubqueryCacheTest, ZeroCapacityDisablesCaching) {
+  SubqueryCache cache(0);
+  cache.Put("k", "v");
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_FALSE(cache.Get("k", nullptr));
+}
+
+}  // namespace
+}  // namespace dqsq

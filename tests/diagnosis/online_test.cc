@@ -110,5 +110,133 @@ TEST(OnlineDiagnoserTest, InterleavedPeersMatchBatch) {
   }
 }
 
+TEST(OnlineDiagnoserTest, ProgramKeepsAtMostOneQueryRule) {
+  // Regression pin for the query-rule pruning fix: the program holds the
+  // base rules, one chain-edge fact per observed alarm and at most one
+  // versioned query rule — superseded q_<i> rules must not accumulate.
+  petri::PetriNet net = petri::MakePaperNet();
+  auto online = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(online.ok());
+  const size_t base = online->base_rules();
+  EXPECT_EQ(online->num_rules(), base);
+
+  // Current() on the empty prefix emits q_0 exactly once.
+  ASSERT_TRUE(online->Current().ok());
+  EXPECT_EQ(online->num_rules(), base + 1);
+  ASSERT_TRUE(online->Current().ok());
+  EXPECT_EQ(online->num_rules(), base + 1);
+
+  petri::AlarmSequence alarms =
+      petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}, {"c", "p1"}});
+  size_t observed = 0;
+  for (const petri::Alarm& alarm : alarms) {
+    ASSERT_TRUE(online->Observe(alarm).ok());
+    ++observed;
+    EXPECT_EQ(online->num_rules(), base + observed + 1)
+        << "after " << observed << " alarms";
+  }
+}
+
+TEST(OnlineDiagnoserTest, FailedObserveRollsBackAndRetrySucceeds) {
+  // Regression for the transactional-Observe fix: a budget-failed Observe
+  // must leave no trace (no chain edge, no counter bump, no query rule),
+  // and retrying the same alarm after raising the budget must succeed with
+  // the same answers a fresh diagnoser computes.
+  petri::PetriNet net = petri::MakePaperNet();
+  OnlineOptions tiny;
+  tiny.max_facts = 1;
+  auto online = OnlineDiagnoser::Create(net, tiny);
+  ASSERT_TRUE(online.ok());
+  const size_t base = online->num_rules();
+
+  auto fail1 = online->Observe({"b", "p1"});
+  ASSERT_FALSE(fail1.ok());
+  EXPECT_EQ(online->num_observed(), 0u);
+  EXPECT_EQ(online->num_rules(), base);
+
+  // The retry is idempotent: same failure, still no duplicated edge.
+  auto fail2 = online->Observe({"b", "p1"});
+  ASSERT_FALSE(fail2.ok());
+  EXPECT_EQ(online->num_observed(), 0u);
+  EXPECT_EQ(online->num_rules(), base);
+
+  online->set_max_facts(5'000'000);
+  auto ok = online->Observe({"b", "p1"});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, Batch(net, petri::MakeAlarms({{"b", "p1"}})));
+  EXPECT_EQ(online->num_observed(), 1u);
+  EXPECT_EQ(online->num_rules(), base + 1 + 1);  // one edge + one query rule
+}
+
+TEST(OnlineDiagnoserTest, FailedCurrentRetryDoesNotDuplicateQueryRules) {
+  petri::PetriNet net = petri::MakePaperNet();
+  OnlineOptions tiny;
+  tiny.max_facts = 1;
+  auto online = OnlineDiagnoser::Create(net, tiny);
+  ASSERT_TRUE(online.ok());
+  const size_t base = online->num_rules();
+
+  ASSERT_FALSE(online->Current().ok());
+  EXPECT_EQ(online->num_rules(), base);
+  ASSERT_FALSE(online->Current().ok());
+  EXPECT_EQ(online->num_rules(), base);
+
+  online->set_max_facts(5'000'000);
+  auto ok = online->Current();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, Batch(net, {}));
+  EXPECT_EQ(online->num_rules(), base + 1);
+}
+
+TEST(OnlineDiagnoserTest, SharedModelSessionsMatchIsolatedOnes) {
+  // Two sessions over one OnlineModel share the term arena and symbol
+  // table; their answers must equal a session with a private context.
+  petri::PetriNet net = petri::MakePaperNet(/*with_loop=*/true);
+  auto model = OnlineModel::Build(net);
+  ASSERT_TRUE(model.ok());
+  OnlineDiagnoser a = OnlineDiagnoser::CreateShared(*model, OnlineOptions{});
+  OnlineDiagnoser b = OnlineDiagnoser::CreateShared(*model, OnlineOptions{});
+  auto isolated = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(isolated.ok());
+
+  petri::AlarmSequence alarms =
+      petri::MakeAlarms({{"a", "p2"}, {"b", "p1"}, {"c", "p2"}});
+  for (const petri::Alarm& alarm : alarms) {
+    auto ra = a.Observe(alarm);
+    auto rb = b.Observe(alarm);
+    auto ri = isolated->Observe(alarm);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    ASSERT_TRUE(ri.ok());
+    EXPECT_EQ(*ra, *ri);
+    EXPECT_EQ(*rb, *ri);
+  }
+}
+
+TEST(OnlineDiagnoserTest, ObserveCachedMatchesEvaluatedAnswers) {
+  // ObserveCached advances the session without evaluating; a later cache
+  // miss (here: Observe of a fresh alarm) must still produce the same
+  // answers as a session that evaluated every step.
+  petri::PetriNet net = petri::MakePaperNet();
+  auto evaluated = OnlineDiagnoser::Create(net, OnlineOptions{});
+  auto skipping = OnlineDiagnoser::Create(net, OnlineOptions{});
+  ASSERT_TRUE(evaluated.ok());
+  ASSERT_TRUE(skipping.ok());
+
+  auto step1 = evaluated->Observe({"b", "p1"});
+  ASSERT_TRUE(step1.ok());
+  ASSERT_TRUE(skipping->ObserveCached({"b", "p1"}, *step1).ok());
+  auto cached = skipping->Current();
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(*cached, *step1);
+  EXPECT_EQ(skipping->last_step_new_facts(), 0u);  // nothing evaluated
+
+  auto step2 = evaluated->Observe({"a", "p2"});
+  auto fresh2 = skipping->Observe({"a", "p2"});
+  ASSERT_TRUE(step2.ok());
+  ASSERT_TRUE(fresh2.ok());
+  EXPECT_EQ(*fresh2, *step2);
+}
+
 }  // namespace
 }  // namespace dqsq::diagnosis

@@ -1,0 +1,231 @@
+#include "diagnosis/service.h"
+
+#include <gtest/gtest.h>
+
+#include "diagnosis/diagnoser.h"
+#include "petri/examples.h"
+
+namespace dqsq::diagnosis {
+namespace {
+
+std::vector<Explanation> Batch(const petri::PetriNet& net,
+                               const petri::AlarmSequence& alarms) {
+  DiagnosisOptions opts;
+  opts.engine = DiagnosisEngine::kCentralQsq;
+  auto result = Diagnose(net, alarms, opts);
+  DQSQ_CHECK_OK(result.status());
+  return result->explanations;
+}
+
+TEST(DiagnosisServiceTest, RegisterOpenObserve) {
+  DiagnosisService service;
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("paper", net).ok());
+  ASSERT_TRUE(service.OpenSession("plant-1", "paper").ok());
+
+  petri::AlarmSequence prefix;
+  for (const petri::Alarm& alarm :
+       petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}, {"c", "p1"}})) {
+    prefix.push_back(alarm);
+    auto result = service.Observe("plant-1", alarm);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(*result, Batch(net, prefix));
+  }
+  auto observed = service.NumObserved("plant-1");
+  ASSERT_TRUE(observed.ok());
+  EXPECT_EQ(*observed, 3u);
+}
+
+TEST(DiagnosisServiceTest, RegistryAndSessionErrors) {
+  DiagnosisService service;
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("paper", net).ok());
+  EXPECT_FALSE(service.RegisterModel("paper", net).ok());   // duplicate
+  EXPECT_FALSE(service.OpenSession("s", "nope").ok());      // unknown model
+  ASSERT_TRUE(service.OpenSession("s", "paper").ok());
+  EXPECT_FALSE(service.OpenSession("s", "paper").ok());     // duplicate
+  EXPECT_FALSE(service.Observe("ghost", {"b", "p1"}).ok()); // unknown session
+  EXPECT_FALSE(service.CloseSession("ghost").ok());
+  ASSERT_TRUE(service.CloseSession("s").ok());
+  EXPECT_EQ(service.num_sessions(), 0u);
+}
+
+TEST(DiagnosisServiceTest, AdmissionControlRejectsBeyondCap) {
+  ServiceOptions opts;
+  opts.max_sessions = 2;
+  DiagnosisService service(opts);
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("paper", net).ok());
+  ASSERT_TRUE(service.OpenSession("s1", "paper").ok());
+  ASSERT_TRUE(service.OpenSession("s2", "paper").ok());
+  Status rejected = service.OpenSession("s3", "paper");
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_FALSE(service.has_session("s3"));
+  // A closed slot can be re-admitted.
+  ASSERT_TRUE(service.CloseSession("s1").ok());
+  EXPECT_TRUE(service.OpenSession("s3", "paper").ok());
+}
+
+TEST(DiagnosisServiceTest, UnknownPeerAlarmLeavesStateUntouched) {
+  DiagnosisService service;
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("paper", net).ok());
+  ASSERT_TRUE(service.OpenSession("s", "paper").ok());
+  ASSERT_TRUE(service.Observe("s", {"b", "p1"}).ok());
+
+  auto bad = service.Observe("s", {"a", "not-a-peer"});
+  EXPECT_FALSE(bad.ok());
+  auto observed = service.NumObserved("s");
+  ASSERT_TRUE(observed.ok());
+  EXPECT_EQ(*observed, 1u);
+
+  // The session keeps answering correctly after the rejected alarm.
+  auto next = service.Observe("s", {"a", "p2"});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, Batch(net, petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}})));
+}
+
+TEST(DiagnosisServiceTest, BudgetExhaustedObserveRetryIsIdempotent) {
+  ServiceOptions opts;
+  opts.session_max_facts = 1;
+  DiagnosisService service(opts);
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("paper", net).ok());
+  ASSERT_TRUE(service.OpenSession("s", "paper").ok());
+
+  EXPECT_FALSE(service.Observe("s", {"b", "p1"}).ok());
+  EXPECT_FALSE(service.Observe("s", {"b", "p1"}).ok());  // retry: same error
+  auto observed = service.NumObserved("s");
+  ASSERT_TRUE(observed.ok());
+  EXPECT_EQ(*observed, 0u);
+
+  ASSERT_TRUE(service.SetSessionBudget("s", 5'000'000).ok());
+  auto ok = service.Observe("s", {"b", "p1"});
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, Batch(net, petri::MakeAlarms({{"b", "p1"}})));
+}
+
+TEST(DiagnosisServiceTest, HibernateRestoreRoundTripsByteIdentically) {
+  dist::InMemoryDurableStore store;
+  ServiceOptions opts;
+  opts.store = &store;
+  DiagnosisService service(opts);
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("paper", net).ok());
+  ASSERT_TRUE(service.OpenSession("plant", "paper").ok());
+  ASSERT_TRUE(service.Observe("plant", {"b", "p1"}).ok());
+  ASSERT_TRUE(service.Observe("plant", {"a", "p2"}).ok());
+
+  ASSERT_TRUE(service.Hibernate("plant").ok());
+  EXPECT_FALSE(service.is_resident("plant"));
+  auto image1 = store.Get("diag.session/plant");
+  ASSERT_TRUE(image1.has_value());
+
+  // Current() restores the session from the image without evaluating,
+  // and re-hibernating must reproduce the image byte for byte.
+  auto current = service.Current("plant");
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(service.is_resident("plant"));
+  EXPECT_EQ(*current, Batch(net, petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}})));
+
+  ASSERT_TRUE(service.Hibernate("plant").ok());
+  auto image2 = store.Get("diag.session/plant");
+  ASSERT_TRUE(image2.has_value());
+  EXPECT_EQ(*image1, *image2);
+
+  // The restored session keeps diagnosing correctly.
+  auto next = service.Observe("plant", {"c", "p1"});
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(*next, Batch(net, petri::MakeAlarms(
+                                  {{"b", "p1"}, {"a", "p2"}, {"c", "p1"}})));
+}
+
+TEST(DiagnosisServiceTest, ColdSessionsEvictUnderResidencyCap) {
+  ServiceOptions opts;
+  opts.max_resident_sessions = 1;
+  DiagnosisService service(opts);
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("paper", net).ok());
+  ASSERT_TRUE(service.OpenSession("s1", "paper").ok());
+  ASSERT_TRUE(service.OpenSession("s2", "paper").ok());
+  EXPECT_EQ(service.num_resident(), 1u);
+  EXPECT_FALSE(service.is_resident("s1"));  // evicted by s2's admission
+
+  // Alternating alarms churn hibernate/restore; answers stay correct.
+  petri::AlarmSequence prefix;
+  for (const petri::Alarm& alarm :
+       petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}, {"c", "p1"}})) {
+    prefix.push_back(alarm);
+    auto r1 = service.Observe("s1", alarm);
+    auto r2 = service.Observe("s2", alarm);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    EXPECT_EQ(*r1, Batch(net, prefix));
+    EXPECT_EQ(*r2, Batch(net, prefix));
+    EXPECT_EQ(service.num_resident(), 1u);
+  }
+}
+
+TEST(DiagnosisServiceTest, SharedCacheMatchesIsolatedSessions) {
+  // Two sessions sharing the model's prefix cache must answer exactly as
+  // two fully isolated services; the second stream is served from cache.
+  petri::PetriNet net = petri::MakePaperNet(/*with_loop=*/true);
+  petri::AlarmSequence alarms = petri::MakeAlarms(
+      {{"a", "p2"}, {"b", "p1"}, {"c", "p2"}, {"a", "p2"}});
+
+  DiagnosisService shared;
+  ASSERT_TRUE(shared.RegisterModel("m", net).ok());
+  ASSERT_TRUE(shared.OpenSession("a", "m").ok());
+  ASSERT_TRUE(shared.OpenSession("b", "m").ok());
+
+  DiagnosisService isolated_a, isolated_b;
+  ASSERT_TRUE(isolated_a.RegisterModel("m", net).ok());
+  ASSERT_TRUE(isolated_b.RegisterModel("m", net).ok());
+  ASSERT_TRUE(isolated_a.OpenSession("a", "m").ok());
+  ASSERT_TRUE(isolated_b.OpenSession("b", "m").ok());
+
+  for (const petri::Alarm& alarm : alarms) {
+    auto sa = shared.Observe("a", alarm);
+    auto sb = shared.Observe("b", alarm);
+    auto ia = isolated_a.Observe("a", alarm);
+    auto ib = isolated_b.Observe("b", alarm);
+    ASSERT_TRUE(sa.ok());
+    ASSERT_TRUE(sb.ok());
+    ASSERT_TRUE(ia.ok());
+    ASSERT_TRUE(ib.ok());
+    EXPECT_EQ(*sa, *ia);
+    EXPECT_EQ(*sb, *ib);
+  }
+  // Session b never evaluated: every one of its prefixes was a hit from a.
+  const SubqueryCache* cache = shared.cache("m");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->hits(), alarms.size());
+  EXPECT_EQ(cache->misses(), alarms.size());
+}
+
+TEST(DiagnosisServiceTest, CacheDisabledStillAnswers) {
+  ServiceOptions opts;
+  opts.cache_bytes = 0;
+  DiagnosisService service(opts);
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("m", net).ok());
+  ASSERT_TRUE(service.OpenSession("s", "m").ok());
+  auto result = service.Observe("s", {"b", "p1"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, Batch(net, petri::MakeAlarms({{"b", "p1"}})));
+  EXPECT_EQ(service.cache("m")->entries(), 0u);
+}
+
+TEST(DiagnosisServiceTest, PrefixKeyIsInterleavingInvariant) {
+  auto k1 = ObservationPrefixKey(
+      petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}, {"c", "p1"}}));
+  auto k2 = ObservationPrefixKey(
+      petri::MakeAlarms({{"b", "p1"}, {"c", "p1"}, {"a", "p2"}}));
+  auto k3 = ObservationPrefixKey(
+      petri::MakeAlarms({{"c", "p1"}, {"b", "p1"}, {"a", "p2"}}));
+  EXPECT_EQ(k1, k2);   // same per-peer subsequences
+  EXPECT_NE(k1, k3);   // p1's order differs
+}
+
+}  // namespace
+}  // namespace dqsq::diagnosis
