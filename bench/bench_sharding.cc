@@ -1,0 +1,193 @@
+// E5 — elastic intra-peer sharding (ROADMAP item 3). Two tables:
+//
+//  * Partition scaling: ShardRouter::PartitionRows over a large EDB at
+//    K ∈ {1,2,4,8}. Routing is a pure content-fingerprint hash, so the
+//    per-shard shares are deterministic; the modeled speedup is the
+//    makespan ratio rows/max_share (K perfectly balanced shards would
+//    give exactly K). The acceptance bar — ≥3x modeled tuple throughput
+//    at K=8 vs K=1 — is checked here, not just reported.
+//  * End-to-end equivalence: the distributed chain workload on both
+//    engines at K ∈ {1,2,4,8}, pinning message/tuple counters and
+//    answer agreement with the unsharded run, plus a K=2 run with a
+//    forced mid-evaluation shard migration.
+//
+// Every count in BENCH_E5_sharding.json is deterministic (seeded sim,
+// content-hash routing); wall clocks only ever appear in *_ns params,
+// which the baseline guard excludes from exact comparison and bounds
+// with --max-timing-ratio.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "bench/bench_util.h"
+#include "dist/dnaive.h"
+#include "dist/dqsq.h"
+#include "dist/shard.h"
+
+using namespace dqsq;
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void PartitionTable(bench::BenchReporter& reporter) {
+  const size_t kRows = 200'000;
+  const int kPasses = 5;
+  DatalogContext ctx;
+  std::set<SymbolId> logical{ctx.InternPeer("p")};
+  Relation rel(/*arity=*/2);
+  for (size_t x = 0; x < kRows; ++x) {
+    rel.Insert(Tuple{
+        ctx.arena().MakeConstant(ctx.symbols().Intern("k" + std::to_string(x))),
+        ctx.arena().MakeConstant(
+            ctx.symbols().Intern("v" + std::to_string(x % 997)))});
+  }
+  reporter.Param("partition.rows", static_cast<int64_t>(rel.size()));
+  reporter.Param("partition.passes", int64_t{kPasses});
+  std::printf(
+      "E5: PartitionRows over %zu rows (content-fingerprint routing)\n"
+      "%3s | %9s %9s | %8s | %12s\n",
+      rel.size(), "K", "max-share", "min-share", "speedup", "rows/ms");
+  double speedup_at_1 = 0.0, speedup_at_8 = 0.0;
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    dist::ShardRouter router(ctx, logical, shards);
+    std::vector<std::vector<uint32_t>> parts;
+    int64_t wall_ns = 0;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      parts.assign(0, {});
+      const int64_t start = NowNs();
+      DQSQ_CHECK_EQ(router.PartitionRows(rel, parts), rel.size());
+      wall_ns += NowNs() - start;
+    }
+    size_t max_share = 0, min_share = rel.size();
+    for (const std::vector<uint32_t>& part : parts) {
+      max_share = std::max(max_share, part.size());
+      min_share = std::min(min_share, part.size());
+    }
+    // Modeled makespan: every shard evaluates its share in parallel, so
+    // the elapsed "time" of one round is the largest share.
+    const double speedup =
+        static_cast<double>(rel.size()) / static_cast<double>(max_share);
+    if (shards == 1) speedup_at_1 = speedup;
+    if (shards == 8) speedup_at_8 = speedup;
+    const double rows_per_ms =
+        static_cast<double>(rel.size()) * kPasses / (wall_ns / 1e6);
+    std::printf("%3zu | %9zu %9zu | %7.2fx | %12.0f\n", shards, max_share,
+                min_share, speedup, rows_per_ms);
+    const std::string prefix = "partition.k" + std::to_string(shards) + ".";
+    reporter.Param(prefix + "max_share", static_cast<int64_t>(max_share));
+    reporter.Param(prefix + "min_share", static_cast<int64_t>(min_share));
+    reporter.Param(prefix + "modeled_speedup", speedup);
+    reporter.Param(prefix + "wall_ns", wall_ns);
+  }
+  const double ratio = speedup_at_8 / speedup_at_1;
+  reporter.Param("throughput_ratio_8v1", ratio);
+  std::printf("modeled throughput at K=8 vs K=1: %.2fx (acceptance: >= 3x)\n",
+              ratio);
+  DQSQ_CHECK(ratio >= 3.0) << "sharding speedup regressed below the bar";
+}
+
+struct EndToEnd {
+  std::vector<std::string> answers;
+  dist::NetworkStats stats;
+  size_t num_peers = 0;
+};
+
+EndToEnd Solve(bool qsq, const std::string& program_text,
+               const std::string& query_text, const dist::DistOptions& opts) {
+  DatalogContext ctx;
+  auto program = ParseProgram(program_text, ctx);
+  DQSQ_CHECK_OK(program.status());
+  auto query = ParseQuery(query_text, ctx);
+  DQSQ_CHECK_OK(query.status());
+  auto result = qsq ? dist::DistQsqSolve(ctx, *program, *query, opts)
+                    : dist::DistNaiveSolve(ctx, *program, *query, opts);
+  DQSQ_CHECK_OK(result.status());
+  EndToEnd out;
+  for (const Tuple& t : result->answers) {
+    std::string row;
+    for (TermId id : t) row += ctx.arena().ToString(id, ctx.symbols()) + ",";
+    out.answers.push_back(std::move(row));
+  }
+  std::sort(out.answers.begin(), out.answers.end());
+  out.stats = result->net_stats;
+  out.num_peers = result->num_peers;
+  return out;
+}
+
+void EndToEndTable(bench::BenchReporter& reporter) {
+  const int kPeers = 3, kPerPeer = 12;
+  const std::string program_text =
+      bench::DistributedChainProgram(kPeers, kPerPeer);
+  const std::string query_text = "path@peer0(v0, Y)";
+  reporter.Param("workload", "distributed_chain");
+  reporter.Param("peers", int64_t{kPeers});
+  reporter.Param("per_peer", int64_t{kPerPeer});
+  reporter.Param("query", query_text);
+  std::printf(
+      "\nE5-e2e: chain %dx%d under sharding (lossless wire, seed 1)\n"
+      "%-6s %3s | %6s %8s %8s | %s\n",
+      kPeers, kPerPeer, "engine", "K", "peers", "msgs", "tuples", "answers");
+  for (bool qsq : {false, true}) {
+    const char* engine = qsq ? "dqsq" : "dnaive";
+    EndToEnd base = Solve(qsq, program_text, query_text, dist::DistOptions{});
+    for (size_t shards : {1u, 2u, 4u, 8u}) {
+      dist::DistOptions opts;
+      opts.num_shards = shards;
+      EndToEnd run = Solve(qsq, program_text, query_text, opts);
+      const bool agree = run.answers == base.answers;
+      std::printf("%-6s %3zu | %6zu %8zu %8zu | %s\n", engine, shards,
+                  run.num_peers, run.stats.messages_delivered,
+                  run.stats.tuples_shipped, agree ? "agree" : "MISMATCH");
+      const std::string prefix =
+          std::string(engine) + ".k" + std::to_string(shards) + ".";
+      reporter.Param(prefix + "num_peers", static_cast<int64_t>(run.num_peers));
+      reporter.Param(prefix + "messages_delivered",
+                     static_cast<int64_t>(run.stats.messages_delivered));
+      reporter.Param(prefix + "tuples_shipped",
+                     static_cast<int64_t>(run.stats.tuples_shipped));
+      reporter.Param(prefix + "answers_agree",
+                     std::string(agree ? "true" : "false"));
+      DQSQ_CHECK(agree) << engine << " K=" << shards;
+    }
+    // A K=2 run with one worker shard migrated mid-evaluation: the answers
+    // and the migration counter pin that live hand-off stays lossless.
+    dist::DistOptions opts;
+    opts.num_shards = 2;
+    opts.faults.crash.migrate_at_step = {{/*at_step=*/25, /*peer_index=*/1}};
+    opts.faults.crash.checkpoint_every = 2;
+    EndToEnd migrated = Solve(qsq, program_text, query_text, opts);
+    const bool agree = migrated.answers == base.answers;
+    std::printf("%-6s %3s | %6zu %8zu %8zu | %s (1 live migration)\n", engine,
+                "2*", migrated.num_peers, migrated.stats.messages_delivered,
+                migrated.stats.tuples_shipped, agree ? "agree" : "MISMATCH");
+    const std::string prefix = std::string(engine) + ".k2_migrated.";
+    reporter.Param(prefix + "messages_delivered",
+                   static_cast<int64_t>(migrated.stats.messages_delivered));
+    reporter.Param(prefix + "tuples_shipped",
+                   static_cast<int64_t>(migrated.stats.tuples_shipped));
+    reporter.Param(prefix + "migrations",
+                   static_cast<int64_t>(migrated.stats.migrations));
+    reporter.Param(prefix + "answers_agree",
+                   std::string(agree ? "true" : "false"));
+    DQSQ_CHECK(agree) << engine << " migrated";
+    DQSQ_CHECK_EQ(migrated.stats.migrations, 1u);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReporter reporter("E5_sharding");
+  PartitionTable(reporter);
+  EndToEndTable(reporter);
+  return 0;
+}

@@ -24,17 +24,30 @@ bool SubqueryCache::Get(const std::string& key, std::string* value) {
 }
 
 void SubqueryCache::Put(const std::string& key, std::string value) {
+  const size_t entry_bytes = key.size() + value.size();
   auto it = index_.find(key);
   if (it != index_.end()) {
+    // An update that alone busts the budget is applied and then swept out
+    // by EvictToBudget (counted as both an eviction and a reject) — the
+    // entry must not linger as an unevictable over-budget resident.
+    if (entry_bytes > capacity_bytes_) {
+      ++oversize_rejects_;
+      CountMetric("datalog.subcache.oversize_rejects");
+    }
     bytes_ -= it->second->key.size() + it->second->value.size();
-    bytes_ += key.size() + value.size();
+    bytes_ += entry_bytes;
     it->second->value = std::move(value);
     lru_.splice(lru_.begin(), lru_, it->second);
     EvictToBudget();
     return;
   }
-  const size_t entry_bytes = key.size() + value.size();
-  if (entry_bytes > capacity_bytes_) return;  // would evict everything
+  if (entry_bytes > capacity_bytes_) {
+    // Would evict everything and still not fit: drop the entry, but leave
+    // an audit trail — a silent drop reads as a plain miss downstream.
+    ++oversize_rejects_;
+    CountMetric("datalog.subcache.oversize_rejects");
+    return;
+  }
   lru_.push_front(Entry{key, std::move(value)});
   index_.emplace(key, lru_.begin());
   bytes_ += entry_bytes;

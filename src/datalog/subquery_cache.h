@@ -45,6 +45,10 @@ class SubqueryCache {
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
+  /// Puts whose entry alone exceeded the whole budget. A fresh key is
+  /// dropped without touching resident entries; an update of an existing
+  /// key is applied, then evicted by the budget sweep (both count here).
+  uint64_t oversize_rejects() const { return oversize_rejects_; }
 
  private:
   struct Entry {
@@ -61,6 +65,7 @@ class SubqueryCache {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t oversize_rejects_ = 0;
 };
 
 }  // namespace dqsq

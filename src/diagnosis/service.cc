@@ -13,6 +13,53 @@ void UpdateGauge(const char* name, int64_t value) {
   MetricsRegistry::Global().GetGauge(name).Set(value);
 }
 
+void FnvStr(uint64_t& h, const std::string& s) {
+  for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  h = (h ^ 0xffu) * 0x100000001b3ULL;  // length/field separator
+}
+
+void FnvU64(uint64_t& h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ ((v >> (8 * i)) & 0xffu)) * 0x100000001b3ULL;
+  }
+}
+
+/// Structural identity of a registered plant model: FNV-1a over the peers,
+/// places, transitions (name, peer, alarm, observability, pre/post arcs)
+/// and initial marking. Two nets that fingerprint equal drive identical
+/// diagnosers, so a hibernated session may wake against either; anything
+/// else would replay its alarm history into the wrong plant.
+uint64_t ModelFingerprint(const petri::PetriNet& net) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  FnvU64(h, net.num_peers());
+  for (petri::PeerIndex p = 0; p < net.num_peers(); ++p) {
+    FnvStr(h, net.peer_name(p));
+  }
+  FnvU64(h, net.num_places());
+  for (petri::PlaceId p = 0; p < net.num_places(); ++p) {
+    FnvStr(h, net.place(p).name);
+    FnvU64(h, net.place(p).peer);
+  }
+  FnvU64(h, net.num_transitions());
+  for (petri::TransitionId t = 0; t < net.num_transitions(); ++t) {
+    const petri::Transition& tr = net.transition(t);
+    FnvStr(h, tr.name);
+    FnvU64(h, tr.peer);
+    FnvStr(h, tr.alarm);
+    FnvU64(h, tr.observable ? 1 : 0);
+    FnvU64(h, tr.pre.size());
+    for (petri::PlaceId p : tr.pre) FnvU64(h, p);
+    FnvU64(h, tr.post.size());
+    for (petri::PlaceId p : tr.post) FnvU64(h, p);
+  }
+  uint64_t marking_bits = 0;
+  for (size_t p = 0; p < net.initial_marking().size(); ++p) {
+    if (net.initial_marking()[p]) FnvU64(h, p), ++marking_bits;
+  }
+  FnvU64(h, marking_bits);
+  return h;
+}
+
 }  // namespace
 
 void EncodeExplanations(const std::vector<Explanation>& explanations,
@@ -68,8 +115,46 @@ Status DiagnosisService::RegisterModel(const std::string& model,
   }
   DQSQ_ASSIGN_OR_RETURN(OnlineModel built, OnlineModel::Build(net));
   models_.emplace(model, std::make_unique<ModelEntry>(
-                             model, std::move(built), options_.cache_bytes));
+                             model, ModelFingerprint(net), std::move(built),
+                             options_.cache_bytes));
   return Status::Ok();
+}
+
+Status DiagnosisService::UnregisterModel(const std::string& model) {
+  auto it = models_.find(model);
+  if (it == models_.end()) {
+    return NotFoundError("unknown model: " + model);
+  }
+  // Resident diagnosers borrow the model's DatalogContext (CreateShared),
+  // so every resident session of this model must be hibernated before the
+  // entry — and the context — goes away. Hibernated images carry the
+  // fingerprint, so these sessions stay wakeable iff a structurally
+  // identical model is registered under the same name later.
+  for (auto lit = resident_lru_.begin(); lit != resident_lru_.end();) {
+    Session* s = *lit;
+    ++lit;  // HibernateSession erases s->lru_pos
+    if (s->model_name == model) DQSQ_RETURN_IF_ERROR(HibernateSession(*s));
+  }
+  models_.erase(it);
+  CountMetric("diag.service.models_unregistered");
+  return Status::Ok();
+}
+
+StatusOr<DiagnosisService::ModelEntry*> DiagnosisService::ResolveModel(
+    const Session& s) {
+  auto it = models_.find(s.model_name);
+  if (it == models_.end()) {
+    return FailedPreconditionError("session " + s.name + " was admitted for "
+                                   "model " + s.model_name +
+                                   ", which is no longer registered");
+  }
+  if (it->second->fingerprint != s.model_fingerprint) {
+    return FailedPreconditionError(
+        "session " + s.name + " was admitted for a structurally different "
+        "registration of model " + s.model_name +
+        "; refusing to replay its history into the new plant");
+  }
+  return it->second.get();
 }
 
 Status DiagnosisService::OpenSession(const std::string& session,
@@ -89,10 +174,11 @@ Status DiagnosisService::OpenSession(const std::string& session,
   }
   auto s = std::make_unique<Session>();
   s->name = session;
-  s->model = mit->second.get();
+  s->model_name = mit->second->name;
+  s->model_fingerprint = mit->second->fingerprint;
   s->max_facts = options_.session_max_facts;
   s->diagnoser = std::make_unique<OnlineDiagnoser>(OnlineDiagnoser::CreateShared(
-      s->model->model, OnlineOptions{s->max_facts}));
+      mit->second->model, OnlineOptions{s->max_facts}));
   s->lru_pos = resident_lru_.insert(resident_lru_.begin(), s.get());
   Session* raw = s.get();
   sessions_.emplace(session, std::move(s));
@@ -158,6 +244,7 @@ StatusOr<std::vector<Explanation>> DiagnosisService::Observe(
   Session* s = FindSession(session);
   if (s == nullptr) return NotFoundError("unknown session: " + session);
   ScopedTimer timer(TimeMetric("diag.service.alarm_latency"));
+  DQSQ_ASSIGN_OR_RETURN(ModelEntry * entry, ResolveModel(*s));
   DQSQ_RETURN_IF_ERROR(EnsureResident(*s));
   TouchResident(*s);
   CountMetric("diag.service.alarms");
@@ -170,7 +257,7 @@ StatusOr<std::vector<Explanation>> DiagnosisService::Observe(
   const std::string key = ObservationPrefixKey(next);
 
   std::string blob;
-  if (options_.cache_bytes > 0 && s->model->cache.Get(key, &blob)) {
+  if (options_.cache_bytes > 0 && entry->cache.Get(key, &blob)) {
     dist::SnapshotReader r(blob);
     std::vector<Explanation> explanations = DecodeExplanations(r);
     DQSQ_RETURN_IF_ERROR(s->diagnoser->ObserveCached(alarm, explanations));
@@ -186,7 +273,7 @@ StatusOr<std::vector<Explanation>> DiagnosisService::Observe(
   if (options_.cache_bytes > 0) {
     dist::SnapshotWriter w;
     EncodeExplanations(*result, w);
-    s->model->cache.Put(key, w.Take());
+    entry->cache.Put(key, w.Take());
   }
   return result;
 }
@@ -210,7 +297,8 @@ std::string DiagnosisService::SerializeSession(Session& s) {
   DQSQ_CHECK(s.diagnoser != nullptr);
   dist::SnapshotWriter w;
   w.Str(s.name);
-  w.Str(s.model->name);
+  w.Str(s.model_name);
+  w.U64(s.model_fingerprint);
   w.U64(s.history.size());
   for (const petri::Alarm& alarm : s.history) {
     w.Str(alarm.symbol);
@@ -241,6 +329,12 @@ Status DiagnosisService::HibernateSession(Session& s) {
 
 Status DiagnosisService::EnsureResident(Session& s) {
   if (s.diagnoser) return Status::Ok();
+  // Admission gate for waking: the model named at hibernation time must
+  // still be registered with the same structure. A plant redeployed with
+  // a different net between hibernate and wake fails cleanly here —
+  // replaying the stored history into it would produce explanations for
+  // the wrong plant.
+  DQSQ_ASSIGN_OR_RETURN(ModelEntry * entry, ResolveModel(s));
   std::optional<std::string> blob = store_->Get(StoreKey(s));
   if (!blob.has_value()) {
     return InternalError("hibernation image missing for session " + s.name);
@@ -248,8 +342,13 @@ Status DiagnosisService::EnsureResident(Session& s) {
   dist::SnapshotReader r(*blob);
   const std::string name = r.Str();
   const std::string model = r.Str();
+  const uint64_t fingerprint = r.U64();
   DQSQ_CHECK(name == s.name) << "hibernation image names " << name;
-  DQSQ_CHECK(model == s.model->name);
+  if (model != s.model_name || fingerprint != s.model_fingerprint) {
+    return FailedPreconditionError(
+        "hibernation image of session " + s.name + " was taken under model " +
+        model + " (fingerprint mismatch with its admission record)");
+  }
   const uint64_t n = r.U64();
   DQSQ_CHECK(n == s.history.size());
   petri::AlarmSequence history;
@@ -261,7 +360,7 @@ Status DiagnosisService::EnsureResident(Session& s) {
     history.push_back(std::move(alarm));
   }
   auto d = std::make_unique<OnlineDiagnoser>(OnlineDiagnoser::CreateShared(
-      s.model->model, OnlineOptions{s.max_facts}));
+      entry->model, OnlineOptions{s.max_facts}));
   for (const petri::Alarm& alarm : history) {
     DQSQ_RETURN_IF_ERROR(d->ApplyObservationOnly(alarm));
   }

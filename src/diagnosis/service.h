@@ -84,6 +84,14 @@ class DiagnosisService {
   /// cache) under `model`. Fails if the name is taken.
   Status RegisterModel(const std::string& model, const petri::PetriNet& net);
 
+  /// Removes a registered model so the name can be re-registered (e.g. a
+  /// plant redeploy). Resident sessions of the model are hibernated first;
+  /// they and already-hibernated ones stay admitted, but wake only if a
+  /// model of the same name AND structural fingerprint is registered —
+  /// waking against a structurally different re-registration fails with
+  /// FAILED_PRECONDITION instead of replaying alarms into the wrong plant.
+  Status UnregisterModel(const std::string& model);
+
   /// Admits a new session monitoring one plant of `model`. Fails with
   /// RESOURCE_EXHAUSTED when the admission cap is reached, NOT_FOUND for
   /// an unregistered model, ALREADY_EXISTS for a duplicate session name.
@@ -129,16 +137,27 @@ class DiagnosisService {
  private:
   struct ModelEntry {
     std::string name;
+    /// Structural hash of the registered PetriNet (ModelFingerprint):
+    /// admission identity across unregister/re-register cycles.
+    uint64_t fingerprint = 0;
     OnlineModel model;
     SubqueryCache cache;
 
-    ModelEntry(std::string n, OnlineModel m, size_t cache_bytes)
-        : name(std::move(n)), model(std::move(m)), cache(cache_bytes) {}
+    ModelEntry(std::string n, uint64_t fp, OnlineModel m, size_t cache_bytes)
+        : name(std::move(n)),
+          fingerprint(fp),
+          model(std::move(m)),
+          cache(cache_bytes) {}
   };
 
   struct Session {
     std::string name;
-    ModelEntry* model = nullptr;
+    /// Sessions reference their model by name + fingerprint, never by
+    /// pointer: a hibernated session must survive the model being
+    /// unregistered, and must be refused residency (FAILED_PRECONDITION)
+    /// if the name was re-registered with different structure.
+    std::string model_name;
+    uint64_t model_fingerprint = 0;
     size_t max_facts = 0;
     petri::AlarmSequence history;
     /// Null while hibernated.
@@ -148,6 +167,9 @@ class DiagnosisService {
   };
 
   Session* FindSession(const std::string& session);
+  /// The live ModelEntry the session may run over, or FAILED_PRECONDITION
+  /// when the model is gone / structurally different from admission time.
+  StatusOr<ModelEntry*> ResolveModel(const Session& s);
   std::string StoreKey(const Session& s) const {
     return "diag.session/" + s.name;
   }

@@ -49,19 +49,32 @@ class Cluster {
     kSourceOnly,  // dQSQ: rules feed demand-driven rewriting only
   };
 
-  /// Creates one peer per peer name occurring in `program` or `query`.
-  /// Ground facts load into the owning peer's database; proper rules are
-  /// installed according to `mode`. An active `faults` plan runs the
-  /// network with fault injection plus the reliable-delivery shim.
+  /// Creates one peer per peer name occurring in `program` or `query` —
+  /// or, with `num_shards` > 1, that many worker shards per logical peer
+  /// (dist/shard.h), every shard carrying the full rule set with its pivot
+  /// atoms redirected to the shard's hash partition. Ground facts load
+  /// into the owning peer's database; proper rules are installed according
+  /// to `mode`. An active `faults` plan runs the network with fault
+  /// injection plus the reliable-delivery shim. `wire_batch` enables
+  /// section-batched kTuples flushes (default off: byte-identical wire).
   Cluster(DatalogContext& ctx, const Program& program,
           const ParsedQuery& query, uint64_t seed,
           const EvalOptions& eval_options, Mode mode,
-          const FaultPlan& faults = {});
+          const FaultPlan& faults = {}, size_t num_shards = 1,
+          const WireBatchOptions& wire_batch = {});
 
   SimNetwork& network() { return network_; }
+  /// By logical id this returns shard 0 (whose id IS the logical id).
   DatalogPeer& peer(SymbolId id) { return *peers_.at(id); }
   bool has_peer(SymbolId id) const { return peers_.contains(id); }
   RootNode& root() { return *root_; }
+  /// Null when unsharded.
+  const ShardRouter* router() const { return router_.get(); }
+
+  /// Sends the driver's seed messages, expanded for sharding: control
+  /// messages broadcast to the target's shard group, tuple payloads
+  /// hash-route to the owning shard. Unsharded this is a plain send.
+  void SeedDemand(std::vector<Message> messages);
 
   /// Delivers messages until the root's Dijkstra–Scholten detection fires
   /// (or `max_steps` deliveries). On success the network is also checked
@@ -79,8 +92,16 @@ class Cluster {
 
  private:
   SimNetwork network_;
+  DatalogContext* ctx_;
+  EvalOptions eval_options_;
+  WireBatchOptions wire_batch_;
+  std::unique_ptr<ShardRouter> router_;  // null when num_shards <= 1
   std::unique_ptr<RootNode> root_;
   std::map<SymbolId, std::unique_ptr<DatalogPeer>> peers_;
+  // Peers replaced by live migration: kept alive (crashed, fenced) so any
+  // outstanding raw pointers in the turn that triggered the migration stay
+  // valid; answer extraction reads the replacements in peers_.
+  std::vector<std::unique_ptr<DatalogPeer>> retired_;
 };
 
 // ---- Shared driver plumbing ----------------------------------------------
@@ -111,6 +132,15 @@ std::vector<Message> SeedDemandMessages(DatalogContext& ctx,
 /// under kSourceOnly.
 Atom AnswerAtom(DatalogContext& ctx, const ParsedQuery& query,
                 Cluster::Mode mode);
+
+/// Expands root seed messages for a sharded topology: kTuples payloads
+/// hash-route per tuple to the owning shard, control messages broadcast to
+/// every shard of the target's group (a self-subscription follows its
+/// shard). Identity when `router` is null or the target is unknown to it.
+/// Shared by the simulated Cluster and the multi-process supervisor so
+/// both pose byte-identical demand.
+std::vector<Message> ExpandSeedForShards(const ShardRouter* router,
+                                         std::vector<Message> messages);
 
 }  // namespace dqsq::dist
 

@@ -44,6 +44,7 @@
 #include "dist/cluster.h"
 #include "dist/dnaive.h"
 #include "dist/dqsq.h"
+#include "dist/shard.h"
 #include "dist/socket_network.h"
 
 namespace dqsq::dist {
@@ -57,6 +58,7 @@ struct Args {
   std::string host = "127.0.0.1";
   int port = 0;                      // supervisor listen port (0 = kernel)
   int procs = 4;                     // peer processes to spawn
+  int shards = 1;                    // worker shards per logical peer
   std::string program_path;          // program file; empty = chain workload
   std::string query = "path@peer0(v0, Y)";
   int chain_peers = 6;               // generated workload shape
@@ -88,6 +90,8 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
       args.port = std::stoi(value);
     } else if (eat("--procs", &value)) {
       args.procs = std::stoi(value);
+    } else if (eat("--shards", &value)) {
+      args.shards = std::stoi(value);
     } else if (eat("--chain-peers", &value)) {
       args.chain_peers = std::stoi(value);
     } else if (eat("--chain-edges", &value)) {
@@ -213,11 +217,13 @@ HelloPayload DecodeHello(std::string_view payload) {
 
 struct StartPayload {
   uint8_t engine = 1;  // 0 = dnaive, 1 = dqsq
+  uint32_t num_shards = 1;  // worker shards per logical peer (dist/shard.h)
   std::string program_text;
   std::string query_text;
   std::vector<SocketAddress> procs;   // index -> process address
   SocketAddress supervisor;           // hosts the ds_root node
-  // peer name -> process index, over all names in the program.
+  // peer name -> process index, over all SHARD names of the program's
+  // peers ("peer0", "peer0#1", ... — shard 0 keeps the logical name).
   std::vector<std::pair<std::string, uint32_t>> placement;
   uint32_t your_index = 0;
 };
@@ -225,6 +231,7 @@ struct StartPayload {
 std::string EncodeStart(const StartPayload& s) {
   SnapshotWriter w;
   w.U8(s.engine);
+  w.U32(s.num_shards);
   w.Str(s.program_text);
   w.Str(s.query_text);
   w.U32(static_cast<uint32_t>(s.procs.size()));
@@ -247,6 +254,7 @@ StartPayload DecodeStart(std::string_view payload) {
   SnapshotReader r(payload);
   StartPayload s;
   s.engine = r.U8();
+  s.num_shards = r.U32();
   s.program_text = r.Str();
   s.query_text = r.Str();
   uint32_t n_procs = r.U32();
@@ -356,6 +364,7 @@ int RunPeer(const Args& args) {
 
   // State built when kStart arrives.
   std::map<SymbolId, std::unique_ptr<DatalogPeer>> local;
+  std::unique_ptr<ShardRouter> router;  // null when the cluster is unsharded
   std::optional<ParsedQuery> query;
   Cluster::Mode mode = Cluster::Mode::kSourceOnly;
   bool done = false;
@@ -371,10 +380,18 @@ int RunPeer(const Args& args) {
         DQSQ_ASSIGN_OR_RETURN(ParsedQuery parsed,
                               ParseQuery(start.query_text, ctx));
         query = std::move(parsed);
+        // Every process derives the SAME shard topology from the program
+        // text it was shipped (sorted logical peer set + shard count), so
+        // tuple routing agrees cluster-wide without coordination.
+        if (start.num_shards > 1) {
+          router = std::make_unique<ShardRouter>(
+              ctx, ProgramPeers(program, *query), start.num_shards);
+        }
         for (const auto& [name, proc] : start.placement) {
           SymbolId id = ctx.symbols().Intern(name);
           if (proc == start.your_index) {
-            auto peer = std::make_unique<DatalogPeer>(id, &ctx, EvalOptions());
+            auto peer = std::make_unique<DatalogPeer>(id, &ctx, EvalOptions(),
+                                                      router.get());
             net.Register(id, peer.get());
             local.emplace(id, std::move(peer));
           } else {
@@ -383,9 +400,13 @@ int RunPeer(const Args& args) {
         }
         net.SetAddress("ds_root", start.supervisor);
         for (const Rule& rule : program.rules) {
-          auto owner = local.find(rule.head.rel.peer);
-          if (owner != local.end()) {
-            InstallRuleAt(*owner->second, rule, mode, ctx);
+          // Sharded: every local shard of the head's logical owner carries
+          // the rule (mirrors the simulated Cluster's install loop).
+          for (auto& [id, peer] : local) {
+            SymbolId logical = router != nullptr ? router->LogicalOf(id) : id;
+            if (logical == rule.head.rel.peer) {
+              InstallRuleAt(*peer, rule, mode, ctx);
+            }
           }
         }
         return Status::Ok();
@@ -563,6 +584,15 @@ StatusOr<ClusterRunResult> RunCluster(const Args& args,
   RootNode root(ctx.symbols().Intern("ds_root"));
   net.Register(root.id(), &root);
 
+  // Shard topology (dist/shard.h): built over the same sorted logical
+  // peer set every peer process derives from the program text, so the
+  // supervisor's routing of the seed tuples agrees with the workers'.
+  std::unique_ptr<ShardRouter> router;
+  if (args.shards > 1) {
+    router = std::make_unique<ShardRouter>(ctx, ProgramPeers(program, query),
+                                           static_cast<size_t>(args.shards));
+  }
+
   std::map<uint32_t, SocketAddress> peer_addresses;  // index -> address
   std::map<uint32_t, uint64_t> hello_conns;          // index -> connection
   std::vector<ReportPayload> reports;
@@ -596,14 +626,27 @@ StatusOr<ClusterRunResult> RunCluster(const Args& args,
       args.timeout_ms, "peer handshake");
 
   if (status.ok()) {
-    // Deterministic placement: round-robin over the sorted peer names.
-    std::vector<std::string> names;
+    // Deterministic placement: round-robin over the sorted peer names —
+    // with sharding, over every shard of each logical peer in order, so
+    // a logical peer's shards spread across consecutive processes.
+    std::vector<std::string> logical_names;
     for (SymbolId id : ProgramPeers(program, query)) {
-      names.push_back(ctx.symbols().Name(id));
+      logical_names.push_back(ctx.symbols().Name(id));
     }
-    std::sort(names.begin(), names.end());
+    std::sort(logical_names.begin(), logical_names.end());
+    std::vector<std::string> names;
+    for (const std::string& name : logical_names) {
+      if (router == nullptr) {
+        names.push_back(name);
+        continue;
+      }
+      for (SymbolId shard : router->GroupOf(ctx.symbols().Intern(name))) {
+        names.push_back(ctx.symbols().Name(shard));
+      }
+    }
     StartPayload start;
     start.engine = mode == Cluster::Mode::kEvaluate ? 0 : 1;
+    start.num_shards = static_cast<uint32_t>(std::max(args.shards, 1));
     start.program_text = program_text;
     start.query_text = args.query;
     for (int i = 0; i < args.procs; ++i) {
@@ -623,7 +666,8 @@ StatusOr<ClusterRunResult> RunCluster(const Args& args,
   }
 
   if (status.ok()) {
-    for (Message& m : SeedDemandMessages(ctx, query, root.id(), mode)) {
+    for (Message& m : ExpandSeedForShards(
+             router.get(), SeedDemandMessages(ctx, query, root.id(), mode))) {
       root.SendBasic(std::move(m), net);
     }
     status = PumpPhase(net, children, [&] { return root.terminated(); },
@@ -737,6 +781,7 @@ int RunSupervisor(const Args& args) {
   std::string json = "{\n";
   json += "  \"engine\": \"" + EscapeJson(args.engine) + "\",\n";
   json += "  \"procs\": " + std::to_string(args.procs) + ",\n";
+  json += "  \"shards\": " + std::to_string(args.shards) + ",\n";
   json += "  \"query\": \"" + EscapeJson(args.query) + "\",\n";
   json += "  \"answers\": " + std::to_string(real->answers.size()) + ",\n";
   json += "  \"total_facts\": " + std::to_string(real->total_facts) + ",\n";
@@ -766,6 +811,12 @@ int RunSupervisor(const Args& args) {
                  "produced %llu\n",
                  real->answers.size(),
                  static_cast<unsigned long long>(sim_answers));
+    for (const ReportPayload& report : real->reports) {
+      for (const auto& [name, count] : report.relation_counts) {
+        std::fprintf(stderr, "  proc %u: %s = %llu\n", report.index,
+                     name.c_str(), static_cast<unsigned long long>(count));
+      }
+    }
     return 1;
   }
   return 0;

@@ -37,17 +37,15 @@ StatusOr<DistResult> DistNaiveSolve(DatalogContext& ctx,
   CountMetric("dist.solve.queries", 1, engine);
   ScopedTimer timer(TimeMetric("dist.solve.wall_ns", engine));
   Cluster cluster(ctx, program, query, options.seed, options.eval,
-                  Cluster::Mode::kEvaluate, options.faults);
+                  Cluster::Mode::kEvaluate, options.faults,
+                  options.num_shards, options.wire_batch);
 
   // The driver seeds the computation as the root of a Dijkstra-Scholten
   // diffusing computation: it sends the activation request and then just
   // delivers messages until its own deficit hits zero — no god's-eye view
   // of the channels is needed to know the fixpoint has been reached.
-  DatalogPeer& owner = cluster.peer(query.atom.rel.peer);
-  for (Message& m : SeedDemandMessages(ctx, query, cluster.root().id(),
-                                       Cluster::Mode::kEvaluate)) {
-    cluster.root().SendBasic(std::move(m), cluster.network());
-  }
+  cluster.SeedDemand(SeedDemandMessages(ctx, query, cluster.root().id(),
+                                        Cluster::Mode::kEvaluate));
   DQSQ_RETURN_IF_ERROR(
       cluster.RunUntilTermination(options.max_network_steps));
 
@@ -55,6 +53,9 @@ StatusOr<DistResult> DistNaiveSolve(DatalogContext& ctx,
   // RunUntilTermination fails the solve on a safety violation, so reaching
   // this point certifies quiescence at the instant of detection.
   result.quiescent_at_detection = true;
+  // The owner is looked up AFTER the run: a live migration mid-evaluation
+  // replaces the peer object, and answers live in the replacement.
+  DatalogPeer& owner = cluster.peer(query.atom.rel.peer);
   result.answers = Ask(owner.db(), query.atom, query.num_vars);
   result.net_stats = cluster.network().stats();
   result.total_facts = cluster.TotalFacts();

@@ -22,17 +22,15 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
   CountMetric("dist.solve.queries", 1, engine);
   ScopedTimer timer(TimeMetric("dist.solve.wall_ns", engine));
   Cluster cluster(ctx, program, query, options.seed, options.eval,
-                  Cluster::Mode::kSourceOnly, options.faults);
+                  Cluster::Mode::kSourceOnly, options.faults,
+                  options.num_shards, options.wire_batch);
 
   // Pose the query at the owner as the Dijkstra-Scholten root: a subquery
   // message carrying the call pattern, then the bound arguments (FIFO on
   // the same channel keeps them ordered). Termination is detected by the
   // root's deficit, not by inspecting the channels.
-  DatalogPeer& owner = cluster.peer(query.atom.rel.peer);
-  for (Message& m : SeedDemandMessages(ctx, query, cluster.root().id(),
-                                       Cluster::Mode::kSourceOnly)) {
-    cluster.root().SendBasic(std::move(m), cluster.network());
-  }
+  cluster.SeedDemand(SeedDemandMessages(ctx, query, cluster.root().id(),
+                                        Cluster::Mode::kSourceOnly));
   DQSQ_RETURN_IF_ERROR(
       cluster.RunUntilTermination(options.max_network_steps));
 
@@ -40,6 +38,9 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
   // RunUntilTermination fails the solve on a safety violation, so reaching
   // this point certifies quiescence at the instant of detection.
   result.quiescent_at_detection = true;
+  // The owner is looked up AFTER the run: a live migration mid-evaluation
+  // replaces the peer object, and answers live in the replacement.
+  DatalogPeer& owner = cluster.peer(query.atom.rel.peer);
   result.answers = Ask(owner.db(), AnswerAtom(ctx, query, Cluster::Mode::kSourceOnly),
                        query.num_vars);
   result.net_stats = cluster.network().stats();
@@ -49,6 +50,9 @@ StatusOr<DistResult> DistQsqSolve(DatalogContext& ctx, const Program& program,
   // that are neither sup/in bookkeeping nor inputs.
   result.answer_facts = cluster.CountFactsMatching(
       [&](const std::string& name) {
+        // own$ shadow partitions (sharding) duplicate rows of their base
+        // relation and must not count (own$in__X etc. contain "__").
+        if (name.rfind("own$", 0) == 0) return false;
         if (name.rfind("in__", 0) == 0) return false;
         if (name.find("sup__") != std::string::npos) return false;
         if (name.find("supall__") != std::string::npos) return false;

@@ -36,6 +36,16 @@ enum class MessageKind {
                     // carries its receiver-side resume point as an ack)
 };
 
+/// One batched kTuples payload: a relation plus its rows. A message whose
+/// `sections` is non-empty carries several relations' flushes in one wire
+/// frame (dist.net.batched_tuples); the primary rel/tuples fields still
+/// hold the first flush so unbatched consumers and accounting see it.
+struct TupleSection {
+  RelId rel;
+  std::vector<Tuple> tuples;
+  friend bool operator==(const TupleSection&, const TupleSection&) = default;
+};
+
 struct Message {
   MessageKind kind;
   SymbolId from = 0;
@@ -46,6 +56,13 @@ struct Message {
   SymbolId subscriber = 0;       // kActivate
   std::vector<bool> adornment;   // kSubquery
   std::vector<Rule> rules;       // kInstall
+  // Sharding (dist/shard.h): a kTuples batch flagged shard_replica carries
+  // rows the hash-owner shard broadcasts to its group siblings — the
+  // receiver stores them as replica data and never re-exchanges them.
+  bool shard_replica = false;
+  // Additional kTuples payloads batched into this frame (wire batching,
+  // DistOptions::wire_batch). Empty on the default unbatched path.
+  std::vector<TupleSection> sections;
 
   // Reliable-delivery envelope, stamped by the transport shim when the
   // network runs with fault injection; all zero on a loss-free network.

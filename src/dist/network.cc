@@ -28,6 +28,8 @@ const char* KindName(MessageKind kind) {
   return "unknown";
 }
 
+}  // namespace
+
 // Approximate wire size: a fixed header plus payload terms at four bytes
 // each and rules at sixteen bytes per atom. Messages stamped by the
 // reliable shim additionally pay a transport envelope — seq + cumulative
@@ -40,6 +42,12 @@ size_t ApproxWireBytes(const Message& m) {
   for (const Tuple& t : m.tuples) bytes += 4 * t.size();
   bytes += (m.adornment.size() + 7) / 8;
   for (const Rule& r : m.rules) bytes += 16 * (1 + r.body.size());
+  // Batched kTuples sections (wire batching): an 8-byte section header
+  // (relation id) plus the rows. Absent on the unbatched default path.
+  for (const TupleSection& s : m.sections) {
+    bytes += 8;
+    for (const Tuple& t : s.tuples) bytes += 4 * t.size();
+  }
   if (m.seq > 0 || m.kind == MessageKind::kTransportAck ||
       m.kind == MessageKind::kTransportHello) {
     bytes += 20 + 16 * m.sack.size();
@@ -49,8 +57,6 @@ size_t ApproxWireBytes(const Message& m) {
   if (m.epoch > 0) bytes += 8;
   return bytes;
 }
-
-}  // namespace
 
 SimNetwork::SimNetwork(uint64_t seed, const FaultPlan& faults,
                        bool force_reliable)
@@ -122,6 +128,40 @@ void SimNetwork::PushToChannel(Message m) {
   ChannelKey key{m.from, m.to};
   auto [it, inserted] = channels_.try_emplace(key);
   std::deque<Message>& channel = it->second;
+  // Coalesce superseded transport-maintenance traffic in the queue: an
+  // undelivered standalone ack is strictly dominated by a newer one for
+  // the same channel (the cumulative ack only grows), and an undelivered
+  // wire copy of seq N is dominated by its own retransmit copy (identical
+  // payload, fresher ack/SACK/epoch stamps). Keeping both copies is worse
+  // than useless — whenever transport timers outrun the wire's one-
+  // delivery-per-step drain rate (reachable under intra-peer sharding,
+  // which multiplies channels by K²), the queue depth grows without
+  // bound, and the acks that would quench the retransmit loops are stuck
+  // behind the very copies they supersede: a livelock. With coalescing a
+  // channel's queue holds at most one copy per sequence number plus one
+  // standalone ack, so the backlog is bounded by the flow-control window.
+  // Real stacks behave the same way (ack coalescing, qdisc-level
+  // superseding of requeued segments); the socket backend gets equivalent
+  // backpressure from its bounded send buffer. The queue position of the
+  // superseded copy is kept, never its content; of the two stamps the
+  // higher cumulative ack wins (a delayed-release older copy must not
+  // roll back a fresher one).
+  const bool is_ack = m.kind == MessageKind::kTransportAck;
+  if (is_ack || (m.retransmit && m.seq > 0)) {
+    for (Message& queued : channel) {
+      const bool same =
+          is_ack ? queued.kind == MessageKind::kTransportAck
+                 : queued.seq == m.seq &&
+                       queued.kind != MessageKind::kTransportAck &&
+                       queued.kind != MessageKind::kTransportHello;
+      if (!same) continue;
+      if (m.ack >= queued.ack) queued = std::move(m);
+      ++stats_.coalesced;
+      CountMetric("dist.net.coalesced", 1,
+                  {{"kind", is_ack ? "ack" : "retransmit"}}, "messages");
+      return;
+    }
+  }
   if (channel.empty()) {
     auto pos = std::lower_bound(
         nonempty_.begin(), nonempty_.end(), key,
@@ -239,6 +279,9 @@ StatusOr<bool> SimNetwork::Step() {
   ++stats_.messages_delivered;
   if (message.kind == MessageKind::kTuples) {
     stats_.tuples_shipped += message.tuples.size();
+    for (const TupleSection& s : message.sections) {
+      stats_.tuples_shipped += s.tuples.size();
+    }
   } else {
     ++stats_.control_messages;
     if (message.kind == MessageKind::kInstall) {
@@ -292,8 +335,10 @@ void SimNetwork::RecordDelivery(const Message& message) {
   registry.GetCounter("dist.net.bytes", {}, "bytes")
       .Increment(ApproxWireBytes(message));
   if (message.kind == MessageKind::kTuples) {
+    size_t rows = message.tuples.size();
+    for (const TupleSection& s : message.sections) rows += s.tuples.size();
     registry.GetCounter("dist.net.tuples_shipped", {}, "rows")
-        .Increment(message.tuples.size());
+        .Increment(rows);
   } else if (message.kind == MessageKind::kInstall) {
     registry.GetCounter("dist.net.rules_shipped", {}, "rules")
         .Increment(message.rules.size());
@@ -394,6 +439,15 @@ void SimNetwork::ProcessCrashSchedule() {
     SymbolId peer = restartable_[event.peer_index];
     if (!down_.contains(peer)) CrashPeer(peer);
   }
+  for (size_t i = 0; i < plan.migrate_at_step.size(); ++i) {
+    if (migrate_fired_.contains(i)) continue;
+    const CrashEvent& event = plan.migrate_at_step[i];
+    if (event.at_step > clock_.now()) continue;
+    migrate_fired_.insert(i);
+    DQSQ_CHECK_LT(event.peer_index, restartable_.size())
+        << "migrate event targets a nonexistent restartable peer";
+    MigratePeer(restartable_[event.peer_index]);
+  }
   if (plan.random_crash > 0.0 &&
       random_crashes_fired_ < plan.max_random_crashes &&
       fault_rng_.NextBool(plan.random_crash)) {
@@ -426,7 +480,46 @@ void SimNetwork::RestartPeer(SymbolId peer) {
   // snapshot + write-ahead-log replay must reproduce. Capture its
   // canonical image before wiping it.
   std::string frozen_image = transport_->ProtocolImage(peer);
+  RecoverPeer(peer, frozen_image);
+  ++stats_.restarts;
+  CountMetric("dist.net.restarts", 1, {{"peer", PeerLabel(peer)}},
+              "restarts");
+}
 
+void SimNetwork::MigratePeer(SymbolId peer) {
+  DQSQ_CHECK(migration_factory_)
+      << "MigratePeer requires a migration factory (SetMigrationFactory)";
+  DQSQ_CHECK(transport_ != nullptr)
+      << "live migration requires the reliable transport";
+  DQSQ_CHECK(crash_enabled_)
+      << "live migration requires an active crash plan (the WAL and "
+         "checkpoint cadence it hands off through only run then)";
+  DQSQ_CHECK(peers_.at(peer)->Restartable())
+      << "migration target is not restartable";
+  EnsureInitialCheckpoints();
+  // The frozen transport channels are the reference the new owner's
+  // reconstruction is CHECKed against — capture before fencing.
+  std::string frozen_image = transport_->ProtocolImage(peer);
+  if (!down_.contains(peer)) {
+    // Fence the old owner: wipe its volatile state so it can never process
+    // another delivery (a delivery reaching it would CHECK-fail), and
+    // freeze its transport channels. The epoch bump inside RecoverPeer
+    // invalidates any wire copy the old incarnation still has in flight;
+    // the kTransportHello re-handshake announces the new owner.
+    peers_.at(peer)->Crash();
+    transport_->SetPeerDown(peer, true);
+    down_[peer] = clock_.now();  // transiently down; recovered below
+  }
+  PeerNode* replacement = migration_factory_(peer);
+  DQSQ_CHECK(replacement != nullptr) << "migration factory returned null";
+  peers_[peer] = replacement;
+  RecoverPeer(peer, frozen_image);
+  ++stats_.migrations;
+  CountMetric("dist.shard.migrations", 1, {{"peer", PeerLabel(peer)}},
+              "migrations");
+}
+
+void SimNetwork::RecoverPeer(SymbolId peer, const std::string& frozen_image) {
   auto blob = store_.Get(SnapKey(peer));
   DQSQ_CHECK(blob.has_value()) << "no snapshot for restarting peer " << peer;
   PeerSnapshot snap = DeserializePeerSnapshot(*blob);
@@ -477,9 +570,6 @@ void SimNetwork::RestartPeer(SymbolId peer) {
       << "snapshot + WAL replay diverged from the pre-crash state of peer "
       << peer << " (nondeterministic replay)";
 
-  ++stats_.restarts;
-  CountMetric("dist.net.restarts", 1, {{"peer", PeerLabel(peer)}},
-              "restarts");
   CheckpointPeer(peer);
 
   // Epoch re-handshake: announce the new incarnation and the restored

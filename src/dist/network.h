@@ -58,6 +58,22 @@ struct CrashEvent {
   size_t peer_index = 0;
 };
 
+/// Modeled wire size of a message (header + payload terms + transport
+/// envelope; see the definition in network.cc and docs/METRICS.md). Shared
+/// with the peers' wire batcher, which packs kTuples sections up to a byte
+/// budget priced by this same convention.
+size_t ApproxWireBytes(const Message& m);
+
+/// Opt-in kTuples batching (ROADMAP wire-efficiency item): at the end of
+/// each fixpoint flush a peer packs its small kTuples payloads per target
+/// into one message (extra payloads ride as Message::sections) and splits
+/// payloads larger than `max_bytes` across messages. Off by default — the
+/// unbatched trajectory is byte-identical to the pre-batching network.
+struct WireBatchOptions {
+  bool enable = false;
+  size_t max_bytes = 4096;  // ApproxWireBytes budget per packed message
+};
+
 /// Crash-restart schedule layered on a FaultPlan. A crashed peer's
 /// volatile state (transport channels, Dijkstra–Scholten engagement,
 /// materialized relations) is wiped and reconstructed `down_for` steps
@@ -71,9 +87,15 @@ struct CrashPlan {
   // A full snapshot is taken (truncating the write-ahead log) every this
   // many logged deliveries. 1 = checkpoint on every delivery.
   size_t checkpoint_every = 1;
+  // Live migrations: at `at_step` the `peer_index`-th restartable peer is
+  // fenced (epoch bump), its state handed to a replacement object built by
+  // the migration factory, and the replacement recovered from snapshot +
+  // WAL replay — all within one Step, so evaluation continues unchanged.
+  // Requires SimNetwork::SetMigrationFactory.
+  std::vector<CrashEvent> migrate_at_step;
 
   bool active() const {
-    return !crash_at_step.empty() ||
+    return !crash_at_step.empty() || !migrate_at_step.empty() ||
            (random_crash > 0.0 && max_random_crashes > 0);
   }
 };
@@ -116,6 +138,8 @@ struct NetworkStats {
   size_t retransmits = 0;        // timeout-driven resends by the shim
   size_t spurious = 0;           // deliveries suppressed by receiver dedup
   size_t transport_acks = 0;     // standalone kTransportAck messages sent
+  size_t coalesced = 0;          // queued wire copies superseded in place
+                                 // by a fresher ack/retransmit copy
   // Mirrored from the shim's TransportStats (dist/reliable.h).
   size_t sacked = 0;             // retransmit entries erased by SACK blocks
   size_t fast_retransmits = 0;   // early resends on dup-SACK evidence
@@ -129,6 +153,7 @@ struct NetworkStats {
   size_t crash_drops = 0;        // wire deliveries lost at a down peer
   size_t snapshot_bytes = 0;     // serialized checkpoint volume
   size_t wal_records = 0;        // write-ahead-logged deliveries
+  size_t migrations = 0;         // live shard hand-offs (dist.shard.migrations)
 };
 
 class SimNetwork : public Network {
@@ -182,6 +207,21 @@ class SimNetwork : public Network {
   /// also useful in tests.
   void RestoreDownPeers();
 
+  /// Installs the factory that builds a fresh (blank) peer object for a
+  /// live migration. The returned object replaces the registered peer; the
+  /// caller keeps ownership of both (SimNetwork never owned peers).
+  void SetMigrationFactory(std::function<PeerNode*(SymbolId)> factory) {
+    migration_factory_ = std::move(factory);
+  }
+
+  /// Live shard hand-off: fences `peer` under a bumped epoch (the old
+  /// owner's volatile state is wiped so it can never answer again), swaps
+  /// in a replacement object from the migration factory, and recovers it
+  /// through the ordinary snapshot + WAL-replay path — including the
+  /// determinism CHECK and the re-handshake hellos. Works on a currently
+  /// down peer too (the replacement simply restores instead of it).
+  void MigratePeer(SymbolId peer);
+
   /// The store checkpoints and write-ahead logs are persisted to.
   const DurableStore& durable_store() const { return store_; }
 
@@ -230,6 +270,10 @@ class SimNetwork : public Network {
   /// its write-ahead log, CHECKs the reconstruction against the frozen
   /// pre-crash protocol image, re-checkpoints, and sends hellos.
   void RestartPeer(SymbolId peer);
+  /// The shared recovery tail of RestartPeer and MigratePeer: snapshot
+  /// restore + epoch bump + WAL replay + determinism CHECK against
+  /// `frozen_image` + re-checkpoint + hellos.
+  void RecoverPeer(SymbolId peer, const std::string& frozen_image);
   /// Serializes `peer`'s full state to the store and truncates its WAL.
   void CheckpointPeer(SymbolId peer);
   /// Appends one delivered message to `peer`'s write-ahead log.
@@ -266,8 +310,10 @@ class SimNetwork : public Network {
   std::map<SymbolId, uint64_t> down_;  // peer -> restart due time
   std::map<SymbolId, size_t> wal_len_;
   std::set<size_t> fired_;
+  std::set<size_t> migrate_fired_;
   size_t random_crashes_fired_ = 0;
   bool replaying_ = false;
+  std::function<PeerNode*(SymbolId)> migration_factory_;
 };
 
 /// Interface implemented by dDatalog peers (and test doubles).

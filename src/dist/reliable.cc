@@ -95,6 +95,7 @@ bool ReliableTransport::StampOutgoing(Message& m, uint64_t now) {
 
 void ReliableTransport::ApplyAck(SenderState& sender, const Message& m,
                                  uint64_t now) {
+  bool erased_any = false;
   auto sample_and_erase = [&](std::map<uint64_t, Unacked>::iterator it) {
     // Karn's rule: a retransmitted entry's ack is ambiguous (it may
     // acknowledge any transmission), so only never-retransmitted entries
@@ -102,6 +103,7 @@ void ReliableTransport::ApplyAck(SenderState& sender, const Message& m,
     if (it->second.transmissions == 1) {
       SampleRtt(sender, now - it->second.sent_at);
     }
+    erased_any = true;
     return sender.unacked.erase(it);
   };
   for (auto it = sender.unacked.begin();
@@ -113,6 +115,16 @@ void ReliableTransport::ApplyAck(SenderState& sender, const Message& m,
          it != sender.unacked.end() && it->first <= block.last;) {
       ++stats_.sacked;
       it = sample_and_erase(it);
+    }
+  }
+  // Forward progress restarts the channel's retransmit timers (RFC 6298
+  // §5.7-style): the round trip demonstrably works, so survivors owe their
+  // (possibly deeply backed-off) congestion pessimism nothing — retry one
+  // RTO from now. Bounded by ack arrivals, which are bounded by deliveries.
+  if (erased_any) {
+    for (auto& [seq, entry] : sender.unacked) {
+      entry.backoff = 1;
+      entry.due = std::min(entry.due, now + Rto(sender));
     }
   }
   // Fast retransmit: every surviving entry below the highest SACKed
@@ -185,7 +197,10 @@ ReliableTransport::Disposition ReliableTransport::OnWireDelivery(
                                 });
           if (!covered) break;
         }
-        if (covered) receiver.ack_owed = false;
+        if (covered) {
+          receiver.ack_owed = false;
+          receiver.ack_backoff = 1;
+        }
       }
     }
   }
@@ -198,11 +213,13 @@ ReliableTransport::Disposition ReliableTransport::OnWireDelivery(
   ReceiverState& receiver = receivers_[ChannelKey{m.from, m.to}];
   if (receiver.Saw(m.seq)) {
     // Spurious (our ack was lost or is in flight): owe a fresh ack so the
-    // sender's retransmit loop terminates.
-    if (!receiver.ack_owed) {
-      receiver.ack_owed = true;
-      receiver.owed_since = now;
-    }
+    // sender's retransmit loop terminates. The duplicate is live evidence
+    // the sender is still retransmitting, so answer promptly — reset the
+    // standalone-ack backoff and timer. The re-acceleration is bounded by
+    // the sender's own retransmit backoff (>= rto_min per duplicate).
+    receiver.ack_owed = true;
+    receiver.owed_since = now;
+    receiver.ack_backoff = 1;
     return Disposition::kDuplicate;
   }
   if (m.seq == receiver.cum + 1) {
@@ -211,6 +228,10 @@ ReliableTransport::Disposition ReliableTransport::OnWireDelivery(
   } else {
     receiver.out_of_order.insert(m.seq);
   }
+  // Fresh data: ack promptly even if an earlier (backed-off) debt is
+  // outstanding. The timer is NOT re-armed when already owed — the ack is
+  // due ack_delay after the debt was first incurred.
+  receiver.ack_backoff = 1;
   if (!receiver.ack_owed) {
     receiver.ack_owed = true;
     receiver.owed_since = now;
@@ -224,7 +245,10 @@ std::vector<Message> ReliableTransport::PollWire(uint64_t now) {
     if (down_.contains(channel.first)) continue;  // frozen: crashed sender
     for (auto& [seq, entry] : sender.unacked) {
       if (entry.due > now) continue;
-      entry.backoff = std::min(entry.backoff * 2, config_.max_backoff);
+      entry.backoff *= 2;
+      if (config_.max_backoff > 0) {
+        entry.backoff = std::min(entry.backoff, config_.max_backoff);
+      }
       entry.due = now + Rto(sender) * entry.backoff;
       ++entry.transmissions;  // Karn: this entry's RTT is now ambiguous
       Message copy = entry.copy;
@@ -248,13 +272,24 @@ std::vector<Message> ReliableTransport::PollWire(uint64_t now) {
   }
   for (auto& [channel, receiver] : receivers_) {
     if (down_.contains(channel.second)) continue;  // frozen: crashed receiver
-    if (!receiver.ack_owed || now < receiver.owed_since + config_.ack_delay) {
+    if (!receiver.ack_owed ||
+        now < receiver.owed_since + config_.ack_delay * receiver.ack_backoff) {
       continue;
     }
     // Re-arm instead of clearing: the debt is discharged only when some
     // delivery confirms the ack arrived. If this standalone ack is dropped,
-    // another flushes after ack_delay more steps of silence.
+    // another flushes after a backed-off silence. The backoff is UNcapped
+    // (unlike the retransmit backoff): per owed episode a channel emits
+    // O(log horizon) standalone acks total, so production stays below the
+    // wire's drain rate no matter how many channels owe at once — with a
+    // cap, ~cap·ack_delay owed channels (reachable under intra-peer
+    // sharding, which multiplies channels by K²) produce acks faster than
+    // the wire drains and the discharging acks never escape the flood.
+    // Liveness never rests on this timer: whenever the ack still matters,
+    // the sender's capped retransmit loop delivers a duplicate, which
+    // resets the backoff to prompt.
     receiver.owed_since = now;
+    receiver.ack_backoff *= 2;
     Message ack;
     ack.kind = MessageKind::kTransportAck;
     ack.from = channel.second;  // receiver end of the data channel
@@ -282,7 +317,9 @@ std::optional<uint64_t> ReliableTransport::NextDue() const {
   }
   for (const auto& [channel, receiver] : receivers_) {
     if (down_.contains(channel.second)) continue;
-    if (receiver.ack_owed) consider(receiver.owed_since + config_.ack_delay);
+    if (receiver.ack_owed) {
+      consider(receiver.owed_since + config_.ack_delay * receiver.ack_backoff);
+    }
   }
   return due;
 }

@@ -52,9 +52,20 @@ struct ReliableConfig {
   // used before the first RTT sample; also the fixed RTO when
   // adaptive_rto is off.
   uint64_t retransmit_timeout = 16;
-  // Backoff doubles per retransmit of the same entry, capped at a
-  // multiplier of max_backoff on the current RTO.
-  uint64_t max_backoff = 16;
+  // Backoff doubles per retransmit of the same entry; 0 = uncapped (the
+  // default), a nonzero value caps the multiplier on the current RTO.
+  // Uncapped matters for stability, not just tuning: the virtual wire
+  // drains one delivery per step however many channels exist, so any
+  // capped (i.e. eventually constant-rate) per-entry retransmit schedule
+  // is outrun once enough entries are in flight at once — reachable under
+  // intra-peer sharding, which multiplies channels by K². Karn's rule
+  // keeps the RTO estimator blind during such an episode (retransmitted
+  // entries never sample), so the backoff is the only mechanism that can
+  // slow the sender down. Uncapped doubling emits O(log horizon) copies
+  // per entry, which converges for any channel count; forward progress
+  // restores promptness, because any ack that erases an entry resets its
+  // channel's surviving backoffs (TCP-style timer restart).
+  uint64_t max_backoff = 0;
   // An owed acknowledgment is flushed as a standalone kTransportAck after
   // this many steps without (confirmed-delivered) traffic carrying it.
   uint64_t ack_delay = 4;
@@ -223,6 +234,16 @@ class ReliableTransport {
     std::set<uint64_t> out_of_order;   // received seqs > cum
     bool ack_owed = false;
     uint64_t owed_since = 0;
+    // Backoff multiplier on ack_delay for the NEXT standalone ack, doubled
+    // per standalone emission (uncapped — sender retransmits are the
+    // liveness fallback and reset it) and reset to 1 by any data delivery
+    // on the channel. Without it every owed channel emits a standalone ack
+    // each ack_delay steps forever; past ~ack_delay owed channels that
+    // constant production outruns the wire, the acks that would discharge
+    // the debts queue behind the flood they created, and the network
+    // livelocks (observed under intra-peer sharding, which multiplies the
+    // channel count by K²).
+    uint64_t ack_backoff = 1;
 
     bool Saw(uint64_t seq) const {
       return seq <= cum || out_of_order.contains(seq);

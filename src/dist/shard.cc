@@ -1,0 +1,91 @@
+#include "dist/shard.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dqsq::dist {
+
+ShardRouter::ShardRouter(DatalogContext& ctx,
+                         const std::set<SymbolId>& logical_peers,
+                         size_t num_shards)
+    : ctx_(&ctx), num_shards_(num_shards == 0 ? 1 : num_shards) {
+  for (SymbolId logical : logical_peers) {
+    std::vector<SymbolId> group;
+    group.reserve(num_shards_);
+    group.push_back(logical);
+    const std::string base(ctx.symbols().Name(logical));
+    for (size_t i = 1; i < num_shards_; ++i) {
+      group.push_back(ctx.symbols().Intern(base + "#" + std::to_string(i)));
+    }
+    for (SymbolId shard : group) logical_of_.emplace(shard, logical);
+    groups_.emplace(logical, std::move(group));
+  }
+}
+
+const std::vector<SymbolId>& ShardRouter::GroupOf(SymbolId logical) const {
+  auto it = groups_.find(logical);
+  DQSQ_CHECK(it != groups_.end())
+      << "shard group requested for unknown logical peer " << logical;
+  return it->second;
+}
+
+SymbolId ShardRouter::LogicalOf(SymbolId shard) const {
+  auto it = logical_of_.find(shard);
+  return it == logical_of_.end() ? shard : it->second;
+}
+
+uint64_t ShardRouter::TermFingerprint(TermId term) const {
+  if (term < term_fp_.size() && term_fp_[term] != 0) return term_fp_[term];
+  // FNV-1a over the symbolic content: arena ids depend on each process's
+  // interning order and MUST NOT leak into routing decisions.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const TermArena& arena = ctx_->arena();
+  for (char c : ctx_->symbols().Name(arena.Symbol(term))) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+  }
+  if (arena.IsApp(term)) {
+    for (TermId arg : arena.Args(term)) {
+      h = (h ^ TermFingerprint(arg)) * 0x100000001b3ULL;
+    }
+  }
+  if (h == 0) h = 0x9e3779b97f4a7c15ULL;  // keep 0 as the "uncached" mark
+  if (term >= term_fp_.size()) term_fp_.resize(term + 1, 0);
+  term_fp_[term] = h;
+  return h;
+}
+
+size_t ShardRouter::ShardOfTuple(std::span<const TermId> tuple) const {
+  if (num_shards_ == 1) return 0;
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (TermId id : tuple) {
+    HashCombine(seed, static_cast<std::size_t>(TermFingerprint(id)));
+  }
+  return seed % num_shards_;
+}
+
+size_t ShardRouter::PartitionRows(
+    const Relation& relation, std::vector<std::vector<uint32_t>>& out) const {
+  out.resize(num_shards_);
+  const uint32_t arity = relation.arity();
+  const size_t rows = relation.size();
+  for (size_t row = 0; row < rows; ++row) {
+    std::span<const TermId> t = relation.Row(row);
+    std::size_t seed = 0xcbf29ce484222325ULL;
+    for (uint32_t c = 0; c < arity; ++c) {
+      HashCombine(seed, static_cast<std::size_t>(TermFingerprint(t[c])));
+    }
+    out[num_shards_ == 1 ? 0 : seed % num_shards_].push_back(
+        static_cast<uint32_t>(row));
+  }
+  return rows;
+}
+
+std::vector<SymbolId> ShardRouter::AllShards() const {
+  std::vector<SymbolId> all;
+  for (const auto& [logical, group] : groups_) {
+    all.insert(all.end(), group.begin(), group.end());
+  }
+  return all;
+}
+
+}  // namespace dqsq::dist

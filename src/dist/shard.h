@@ -1,0 +1,89 @@
+// Elastic intra-peer sharding (ROADMAP item 3). The paper's P ↦ P^g
+// translation localizes every rule at one logical peer, so the unit of
+// distribution can be subdivided further: a logical peer's owned
+// relations are hash-partitioned across K worker shards, with routing a
+// pure tuple-hash over per-term content fingerprints — no rule rewriting
+// is needed beyond redirecting each rule's pivot body atom to the owning
+// shard's partition (dist/peer.h). Fingerprints hash the term's symbolic
+// content (not its arena id): interning orders differ between the OS
+// processes of a real-wire cluster, and ownership decisions must agree
+// everywhere or a row loaded as a full replica is claimed by no shard.
+//
+// The ShardRouter is the single source of truth for the shard topology:
+// every process of a cluster builds it from the same sorted logical peer
+// set and shard count, so tuple routing agrees everywhere without
+// coordination. Shard 0 of each group keeps the logical peer's name
+// (K=1 collapses to the unsharded cluster byte-for-byte); shards i >= 1
+// are named "<peer>#i".
+#ifndef DQSQ_DIST_SHARD_H_
+#define DQSQ_DIST_SHARD_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/relation.h"
+
+namespace dqsq::dist {
+
+class ShardRouter {
+ public:
+  /// Builds the topology: `num_shards` shard peers per logical peer in
+  /// `logical_peers`, interning the "<peer>#i" shard names in `ctx`.
+  /// `num_shards` 0 is treated as 1.
+  ShardRouter(DatalogContext& ctx, const std::set<SymbolId>& logical_peers,
+              size_t num_shards);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// All shard peer ids of `logical`, index i = shard i (index 0 is the
+  /// logical id itself). Aborts if `logical` is not a logical peer.
+  const std::vector<SymbolId>& GroupOf(SymbolId logical) const;
+
+  /// The logical peer a shard id belongs to (identity for shard 0 /
+  /// unknown ids, so non-sharded peers pass through).
+  SymbolId LogicalOf(SymbolId shard) const;
+
+  /// True iff `id` is a shard (or logical) peer of a known group.
+  bool Knows(SymbolId id) const { return logical_of_.contains(id); }
+
+  /// Shard index owning `tuple` within its logical peer's group:
+  /// FNV-seeded hash over the terms' content fingerprints, mod num_shards
+  /// — the same function every process and the bench use.
+  size_t ShardOfTuple(std::span<const TermId> tuple) const;
+
+  /// Process-independent fingerprint of a term: FNV-1a over its symbol
+  /// name, recursively combined with argument fingerprints for function
+  /// applications. Cached per arena id, so steady-state routing is one
+  /// table load per term. Never zero.
+  uint64_t TermFingerprint(TermId term) const;
+
+  /// The shard peer id owning `tuple` of a relation at `logical`.
+  SymbolId OwnerOf(SymbolId logical, std::span<const TermId> tuple) const {
+    return GroupOf(logical)[ShardOfTuple(tuple)];
+  }
+
+  /// Partitions every row of `relation` by ShardOfTuple, appending row ids
+  /// to `out[shard]` (resized to num_shards, not cleared). The hot loop
+  /// reads the columnar row-major mirror directly. Returns rows routed.
+  size_t PartitionRows(const Relation& relation,
+                       std::vector<std::vector<uint32_t>>& out) const;
+
+  /// Every shard peer id, over all groups (placement in cluster_main).
+  std::vector<SymbolId> AllShards() const;
+
+ private:
+  const DatalogContext* ctx_;
+  size_t num_shards_;
+  std::map<SymbolId, std::vector<SymbolId>> groups_;   // logical -> shards
+  std::map<SymbolId, SymbolId> logical_of_;            // shard -> logical
+  // Fingerprint cache indexed by TermId; 0 = not yet computed.
+  mutable std::vector<uint64_t> term_fp_;
+};
+
+}  // namespace dqsq::dist
+
+#endif  // DQSQ_DIST_SHARD_H_

@@ -175,8 +175,26 @@ void EncodeMessage(const Message& m, SnapshotWriter& w) {
     w.U64(s.first);
     w.U64(s.last);
   }
-  w.Bool(m.retransmit);
+  // Flags byte (was a plain retransmit Bool): bit0 = retransmit, bit1 =
+  // shard_replica, bit2 = batched sections follow. With sharding and
+  // batching off every bit above 0 is clear, so the encoding — and the
+  // pinned snapshot_bytes baselines — are byte-identical to the
+  // pre-sharding codec.
+  uint8_t flags = 0;
+  if (m.retransmit) flags |= 1;
+  if (m.shard_replica) flags |= 2;
+  if (!m.sections.empty()) flags |= 4;
+  w.U8(flags);
   w.U64(m.epoch);
+  if (!m.sections.empty()) {
+    w.U64(m.sections.size());
+    for (const TupleSection& s : m.sections) {
+      w.U32(s.rel.pred);
+      w.U32(s.rel.peer);
+      w.U64(s.tuples.size());
+      for (const Tuple& t : s.tuples) EncodeTuple(t, w);
+    }
+  }
 }
 
 Message DecodeMessage(SnapshotReader& r) {
@@ -206,8 +224,23 @@ Message DecodeMessage(SnapshotReader& r) {
     s.last = r.U64();
     m.sack.push_back(s);
   }
-  m.retransmit = r.Bool();
+  uint8_t flags = r.U8();
+  m.retransmit = (flags & 1) != 0;
+  m.shard_replica = (flags & 2) != 0;
   m.epoch = r.U64();
+  if ((flags & 4) != 0) {
+    uint64_t sections = r.U64();
+    m.sections.reserve(sections);
+    for (uint64_t i = 0; i < sections; ++i) {
+      TupleSection s;
+      s.rel.pred = r.U32();
+      s.rel.peer = r.U32();
+      uint64_t rows = r.U64();
+      s.tuples.reserve(rows);
+      for (uint64_t j = 0; j < rows; ++j) s.tuples.push_back(DecodeTuple(r));
+      m.sections.push_back(std::move(s));
+    }
+  }
   return m;
 }
 

@@ -180,6 +180,10 @@ StatusOr<SocketNetwork::Connection*> SocketNetwork::Dial(
     if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
       int one = 1;
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (options_.sndbuf_bytes > 0) {
+        setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof(options_.sndbuf_bytes));
+      }
       Status status = MakeNonBlocking(fd);
       if (!status.ok()) {
         close(fd);
@@ -232,6 +236,12 @@ Status SocketNetwork::FlushConnection(Connection& conn) {
   if (conn.outbuf_off == conn.outbuf.size()) {
     conn.outbuf.clear();
     conn.outbuf_off = 0;
+  } else if (conn.outbuf_off >= 64 * 1024) {
+    // Partial flush on a slow receiver: drop the already-sent prefix so a
+    // long EAGAIN streak cannot pin the whole send history in memory
+    // (QueueFrame keeps appending behind the offset).
+    conn.outbuf.erase(0, conn.outbuf_off);
+    conn.outbuf_off = 0;
   }
   return Status::Ok();
 }
@@ -248,6 +258,10 @@ Status SocketNetwork::AcceptReady() {
     }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.sndbuf_bytes > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                 sizeof(options_.sndbuf_bytes));
+    }
     Status status = MakeNonBlocking(fd);
     if (!status.ok()) {
       close(fd);

@@ -56,6 +56,10 @@ struct SocketNetworkOptions {
   int connect_timeout_ms = 5000;
   /// Delay between connect attempts within the budget.
   int connect_retry_ms = 50;
+  /// SO_SNDBUF for every connection, 0 = kernel default. Small values
+  /// force short writes / EAGAIN in FlushConnection — the partial-write
+  /// regression tests pin the resume-at-offset path with this.
+  int sndbuf_bytes = 0;
 };
 
 /// Wire- and delivery-level accounting, the real-wire analogue of

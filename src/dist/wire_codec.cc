@@ -198,8 +198,26 @@ std::string EncodeWireMessage(const Message& m, const DatalogContext& ctx) {
     w.U64(s.first);
     w.U64(s.last);
   }
-  w.Bool(m.retransmit);
+  // Flags byte (was a plain retransmit Bool): bit0 = retransmit, bit1 =
+  // shard_replica, bit2 = batched sections follow. Byte-identical to the
+  // pre-sharding codec when both features are off.
+  uint8_t flags = 0;
+  if (m.retransmit) flags |= 1;
+  if (m.shard_replica) flags |= 2;
+  if (!m.sections.empty()) flags |= 4;
+  w.U8(flags);
   w.U64(m.epoch);
+  if (!m.sections.empty()) {
+    w.U32(static_cast<uint32_t>(m.sections.size()));
+    for (const TupleSection& s : m.sections) {
+      EncodeRel(s.rel, ctx, w);
+      w.U32(static_cast<uint32_t>(s.tuples.size()));
+      for (const Tuple& t : s.tuples) {
+        w.U32(static_cast<uint32_t>(t.size()));
+        for (TermId term : t) EncodeWireTerm(term, ctx, w);
+      }
+    }
+  }
   return w.Take();
 }
 
@@ -238,8 +256,30 @@ Message DecodeWireMessage(std::string_view payload, DatalogContext& ctx) {
     s.last = r.U64();
     m.sack.push_back(s);
   }
-  m.retransmit = r.Bool();
+  uint8_t flags = r.U8();
+  m.retransmit = (flags & 1) != 0;
+  m.shard_replica = (flags & 2) != 0;
   m.epoch = r.U64();
+  if ((flags & 4) != 0) {
+    uint32_t sections = r.U32();
+    m.sections.reserve(sections);
+    for (uint32_t i = 0; i < sections; ++i) {
+      TupleSection s;
+      s.rel = DecodeRel(r, ctx);
+      uint32_t rows = r.U32();
+      s.tuples.reserve(rows);
+      for (uint32_t j = 0; j < rows; ++j) {
+        uint32_t arity = r.U32();
+        Tuple t;
+        t.reserve(arity);
+        for (uint32_t k = 0; k < arity; ++k) {
+          t.push_back(DecodeWireTerm(r, ctx));
+        }
+        s.tuples.push_back(std::move(t));
+      }
+      m.sections.push_back(std::move(s));
+    }
+  }
   DQSQ_CHECK(r.AtEnd()) << "trailing bytes after wire message";
   return m;
 }

@@ -49,6 +49,47 @@ TEST(SubqueryCacheTest, OversizedEntryNotAdmitted) {
   cache.Put("key", "value-way-over-budget");
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.bytes(), 0u);
+  // The drop is audited, not silent — and resident entries are untouched.
+  EXPECT_EQ(cache.oversize_rejects(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.Put("a", "aa");
+  cache.Put("key", "value-way-over-budget");
+  EXPECT_EQ(cache.oversize_rejects(), 2u);
+  EXPECT_TRUE(cache.Get("a", nullptr)) << "reject must not evict residents";
+}
+
+TEST(SubqueryCacheTest, OversizedUpdateOfExistingKeyIsSweptOut) {
+  // Regression: the update path replaces the value BEFORE the budget
+  // sweep. If the new value alone exceeds the whole budget, the entry
+  // must be evicted (never lingering as an over-budget resident) and the
+  // Put counted as an oversize reject.
+  SubqueryCache cache(8);
+  cache.Put("k", "vvv");
+  ASSERT_EQ(cache.entries(), 1u);
+  cache.Put("k", "value-way-over-budget");
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.oversize_rejects(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Get("k", nullptr));
+}
+
+TEST(SubqueryCacheTest, GrowingUpdateEvictsOthersNotItself) {
+  // Update-existing-key eviction path: a value that grows within budget
+  // evicts LRU neighbours, keeping the updated (most recently used) entry.
+  SubqueryCache cache(12);
+  cache.Put("a", "aaa");  // 4 bytes
+  cache.Put("b", "bbb");  // 4 bytes
+  cache.Put("c", "ccc");  // 4 bytes -> full
+  cache.Put("a", "aaaaaaa");  // 8 bytes: a becomes MRU, b evicted
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.bytes(), 12u);
+  EXPECT_EQ(cache.oversize_rejects(), 0u);
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));
+  EXPECT_EQ(value, "aaaaaaa");
+  EXPECT_FALSE(cache.Get("b", nullptr));
+  EXPECT_TRUE(cache.Get("c", nullptr));
 }
 
 TEST(SubqueryCacheTest, ZeroCapacityDisablesCaching) {

@@ -216,6 +216,72 @@ TEST(DiagnosisServiceTest, CacheDisabledStillAnswers) {
   EXPECT_EQ(service.cache("m")->entries(), 0u);
 }
 
+TEST(DiagnosisServiceTest, UnregisterHibernatesResidentsAndIdenticalNetWakes) {
+  DiagnosisService service;
+  petri::PetriNet net = petri::MakePaperNet();
+  ASSERT_TRUE(service.RegisterModel("paper", net).ok());
+  ASSERT_TRUE(service.OpenSession("s1", "paper").ok());
+  ASSERT_TRUE(service.OpenSession("s2", "paper").ok());
+  ASSERT_TRUE(service.Observe("s1", {"b", "p1"}).ok());
+  EXPECT_FALSE(service.UnregisterModel("ghost").ok());
+
+  // Resident diagnosers borrow the model's context: unregistering must
+  // hibernate them first, while they stay admitted.
+  ASSERT_TRUE(service.UnregisterModel("paper").ok());
+  EXPECT_FALSE(service.is_resident("s1"));
+  EXPECT_FALSE(service.is_resident("s2"));
+  EXPECT_TRUE(service.has_session("s1"));
+  EXPECT_EQ(service.cache("paper"), nullptr);
+
+  // With no model registered, waking fails cleanly and is retryable.
+  auto gone = service.Observe("s1", {"a", "p2"});
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kFailedPrecondition);
+
+  // A structurally identical re-registration has the same fingerprint, so
+  // the hibernated sessions wake and keep diagnosing correctly.
+  ASSERT_TRUE(service.RegisterModel("paper", petri::MakePaperNet()).ok());
+  auto next = service.Observe("s1", {"a", "p2"});
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(*next, Batch(net, petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}})));
+  auto fresh = service.Observe("s2", {"b", "p1"});
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+}
+
+TEST(DiagnosisServiceTest, WakeAgainstReRegisteredDifferentModelFailsCleanly) {
+  // Death-adjacent regression: a session hibernated under one plant model
+  // must NOT wake against a structurally different net re-registered under
+  // the same name — its alarm history would be replayed into the wrong
+  // plant. The old behaviour was a process-killing consistency CHECK; now
+  // admission fails with FAILED_PRECONDITION and the service stays usable.
+  DiagnosisService service;
+  ASSERT_TRUE(service.RegisterModel("paper", petri::MakePaperNet()).ok());
+  ASSERT_TRUE(service.OpenSession("plant", "paper").ok());
+  ASSERT_TRUE(service.Observe("plant", {"b", "p1"}).ok());
+  ASSERT_TRUE(service.Hibernate("plant").ok());
+
+  ASSERT_TRUE(service.UnregisterModel("paper").ok());
+  petri::PetriNet redeployed = petri::MakePaperNet(/*with_loop=*/true);
+  ASSERT_TRUE(service.RegisterModel("paper", redeployed).ok());
+
+  auto woken = service.Observe("plant", {"a", "p2"});
+  ASSERT_FALSE(woken.ok());
+  EXPECT_EQ(woken.status().code(), StatusCode::kFailedPrecondition);
+  auto current = service.Current("plant");
+  ASSERT_FALSE(current.ok());
+  EXPECT_EQ(current.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(service.is_resident("plant"));
+  EXPECT_TRUE(service.has_session("plant"));
+
+  // The rejection is per-session: new sessions of the redeployed model run
+  // normally, and the stale session frees its admission slot on close.
+  ASSERT_TRUE(service.OpenSession("plant-2", "paper").ok());
+  auto fresh = service.Observe("plant-2", {"b", "p1"});
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(*fresh, Batch(redeployed, petri::MakeAlarms({{"b", "p1"}})));
+  EXPECT_TRUE(service.CloseSession("plant").ok());
+}
+
 TEST(DiagnosisServiceTest, PrefixKeyIsInterleavingInvariant) {
   auto k1 = ObservationPrefixKey(
       petri::MakeAlarms({{"b", "p1"}, {"a", "p2"}, {"c", "p1"}}));

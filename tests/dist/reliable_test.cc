@@ -134,7 +134,7 @@ TEST(ReliableTransportTest, StandaloneAckFlushesAfterDelayOnSilence) {
   EXPECT_FALSE(transport.NextDue().has_value());
 }
 
-TEST(ReliableTransportTest, StandaloneAckRefiresUntilADeliveryConfirmsIt) {
+TEST(ReliableTransportTest, StandaloneAckRefiresWithBackoffUntilConfirmed) {
   ReliableConfig config;
   config.ack_delay = 4;
   config.retransmit_timeout = 1000;
@@ -144,17 +144,35 @@ TEST(ReliableTransportTest, StandaloneAckRefiresUntilADeliveryConfirmsIt) {
   EXPECT_EQ(transport.OnWireDelivery(m, 1),
             ReliableTransport::Disposition::kDeliverFirst);
   // The first standalone ack is dropped by the wire (never delivered):
-  // another flushes after ack_delay more steps of silence, so a lost ack
-  // never strands the sender until its retransmit timeout.
-  auto first = transport.PollWire(5);
+  // another flushes after a backed-off silence, so a lost ack never
+  // strands the sender until its retransmit timeout — but repeated
+  // re-emissions slow down geometrically (uncapped: O(log horizon) acks
+  // per owed episode), keeping total standalone-ack production below the
+  // wire's drain rate however many channels owe at once. Regression for
+  // the sharded-cluster livelock, where ~K² channels re-emitting every
+  // ack_delay steps outran the wire's drain rate and the discharging acks
+  // could never get through the flood.
+  auto first = transport.PollWire(5);  // owed since 1, due at 5
   ASSERT_EQ(first.size(), 1u);
   EXPECT_EQ(first[0].kind, MessageKind::kTransportAck);
-  EXPECT_TRUE(transport.PollWire(8).empty());  // re-armed at 5, due at 9
-  auto second = transport.PollWire(9);
+  EXPECT_TRUE(transport.PollWire(12).empty());  // re-armed at 5, due at 13
+  auto second = transport.PollWire(13);  // backoff 2: 5 + 4*2
   ASSERT_EQ(second.size(), 1u);
   EXPECT_EQ(second[0].kind, MessageKind::kTransportAck);
+  EXPECT_TRUE(transport.PollWire(28).empty());  // backoff 4: due at 29
+  ASSERT_EQ(transport.PollWire(29).size(), 1u);
+  // The interval keeps doubling: re-armed at 29, backoff 8, due at 61.
+  EXPECT_EQ(transport.NextDue(), std::optional<uint64_t>(61));
+  // A duplicate delivery (the sender's retransmit loop is live) resets the
+  // backoff so the discharging ack goes out promptly again.
+  Message dup = m;
+  EXPECT_EQ(transport.OnWireDelivery(dup, 40),
+            ReliableTransport::Disposition::kDuplicate);
+  EXPECT_EQ(transport.NextDue(), std::optional<uint64_t>(44));
+  auto prompt = transport.PollWire(44);
+  ASSERT_EQ(prompt.size(), 1u);
   // Delivering it discharges the debt: no further standalone acks.
-  EXPECT_EQ(transport.OnWireDelivery(second[0], 10),
+  EXPECT_EQ(transport.OnWireDelivery(prompt[0], 45),
             ReliableTransport::Disposition::kControl);
   EXPECT_FALSE(transport.NextDue().has_value());
 }

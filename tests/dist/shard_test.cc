@@ -1,0 +1,485 @@
+// Elastic intra-peer sharding (dist/shard.h): routing determinism, K>1
+// answer equivalence with the unsharded cluster on both engines, K=1
+// byte-identity, opt-in wire batching, and live shard migration — including
+// a soak where crashes fire around a migration mid-evaluation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "dist/dnaive.h"
+#include "dist/dqsq.h"
+#include "dist/network.h"
+#include "dist/shard.h"
+#include "tests/test_util.h"
+
+namespace dqsq::dist {
+namespace {
+
+using ::dqsq::testing::AnswerStrings;
+
+const char* kFigure3 = R"(
+  r@r(X, Y) :- a@r(X, Y).
+  r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+  s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+  t@t(X, Y) :- c@t(X, Y).
+  a@r("1", "2").
+  a@r("2", "3").
+  a@r("7", "8").
+  b@s("2", "5").
+  b@s("3", "6").
+  c@t("2", "4").
+  c@t("3", "9").
+)";
+
+struct Parsed {
+  Program program;
+  ParsedQuery query;
+};
+
+Parsed ParseAll(DatalogContext& ctx, const std::string& program_text,
+                const std::string& query_text) {
+  auto program = ParseProgram(program_text, ctx);
+  DQSQ_CHECK_OK(program.status());
+  auto query = ParseQuery(query_text, ctx);
+  DQSQ_CHECK_OK(query.status());
+  return Parsed{*std::move(program), *std::move(query)};
+}
+
+struct RunOutcome {
+  std::vector<std::string> answers;
+  NetworkStats stats;
+  size_t num_peers = 0;
+  bool quiescent = false;
+};
+
+StatusOr<RunOutcome> Solve(bool qsq, const std::string& program_text,
+                           const std::string& query_text,
+                           const DistOptions& opts) {
+  DatalogContext ctx;
+  Parsed p = ParseAll(ctx, program_text, query_text);
+  DQSQ_ASSIGN_OR_RETURN(DistResult result,
+                        qsq ? DistQsqSolve(ctx, p.program, p.query, opts)
+                            : DistNaiveSolve(ctx, p.program, p.query, opts));
+  RunOutcome out;
+  out.answers = AnswerStrings(result.answers, ctx);
+  out.stats = result.net_stats;
+  out.num_peers = result.num_peers;
+  out.quiescent = result.quiescent_at_detection;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ShardRouter topology and routing.
+// ---------------------------------------------------------------------------
+
+TEST(ShardRouterTest, TopologyNamesAndKOneCollapse) {
+  DatalogContext ctx;
+  SymbolId a = ctx.InternPeer("alpha");
+  SymbolId b = ctx.InternPeer("beta");
+  std::set<SymbolId> logical{a, b};
+
+  ShardRouter one(ctx, logical, 1);
+  EXPECT_EQ(one.num_shards(), 1u);
+  EXPECT_EQ(one.GroupOf(a), (std::vector<SymbolId>{a}));
+  EXPECT_EQ(one.LogicalOf(a), a);
+  Tuple t{1, 2, 3};
+  EXPECT_EQ(one.ShardOfTuple(t), 0u);
+
+  ShardRouter four(ctx, logical, 4);
+  EXPECT_EQ(four.num_shards(), 4u);
+  const std::vector<SymbolId>& group = four.GroupOf(a);
+  ASSERT_EQ(group.size(), 4u);
+  // Shard 0 IS the logical id; shards i >= 1 are named "<peer>#i".
+  EXPECT_EQ(group[0], a);
+  EXPECT_EQ(ctx.symbols().Name(group[1]), "alpha#1");
+  EXPECT_EQ(ctx.symbols().Name(group[3]), "alpha#3");
+  for (SymbolId shard : group) {
+    EXPECT_EQ(four.LogicalOf(shard), a);
+    EXPECT_TRUE(four.Knows(shard));
+  }
+  // Unknown ids pass through LogicalOf untouched (the DS root, say).
+  SymbolId other = ctx.InternPeer("unrelated");
+  EXPECT_EQ(four.LogicalOf(other), other);
+  EXPECT_FALSE(four.Knows(other));
+  EXPECT_EQ(four.AllShards().size(), 8u);
+}
+
+TermId Const(DatalogContext& ctx, const std::string& name) {
+  return ctx.arena().MakeConstant(ctx.symbols().Intern(name));
+}
+
+TEST(ShardRouterTest, RoutingIsDeterministicAndSpreads) {
+  DatalogContext ctx;
+  std::set<SymbolId> logical{ctx.InternPeer("p")};
+  ShardRouter router(ctx, logical, 8);
+  std::vector<size_t> hits(8, 0);
+  for (int x = 0; x < 512; ++x) {
+    Tuple t{Const(ctx, "v" + std::to_string(x)),
+            Const(ctx, "v" + std::to_string(x + 1))};
+    size_t shard = router.ShardOfTuple(t);
+    ASSERT_LT(shard, 8u);
+    EXPECT_EQ(router.ShardOfTuple(t), shard);  // stable
+    ++hits[shard];
+  }
+  // FNV-seeded content hashing must not collapse onto few shards.
+  for (size_t shard = 0; shard < 8; ++shard) {
+    EXPECT_GT(hits[shard], 0u) << "shard " << shard << " got no tuples";
+  }
+}
+
+TEST(ShardRouterTest, PartitionRowsAgreesWithShardOfTuple) {
+  DatalogContext ctx;
+  std::set<SymbolId> logical{ctx.InternPeer("p")};
+  ShardRouter router(ctx, logical, 4);
+  Relation rel(/*arity=*/2);
+  for (int x = 0; x < 64; ++x) {
+    rel.Insert(Tuple{Const(ctx, "v" + std::to_string(x)),
+                     Const(ctx, "v" + std::to_string(2 * x))});
+  }
+  std::vector<std::vector<uint32_t>> parts;
+  EXPECT_EQ(router.PartitionRows(rel, parts), 64u);
+  ASSERT_EQ(parts.size(), 4u);
+  size_t total = 0;
+  for (size_t shard = 0; shard < parts.size(); ++shard) {
+    for (uint32_t row : parts[shard]) {
+      auto r = rel.Row(row);
+      EXPECT_EQ(router.ShardOfTuple(r), shard);
+    }
+    total += parts[shard].size();
+  }
+  EXPECT_EQ(total, 64u);
+}
+
+// The real-wire cluster runs one ShardRouter per OS process, each with
+// its own DatalogContext whose interning order depends on what that
+// process parsed first. Ownership must nonetheless agree everywhere:
+// routing hashes term CONTENT, never arena ids.
+TEST(ShardRouterTest, RoutingAgreesAcrossInterningOrders) {
+  DatalogContext a;
+  DatalogContext b;
+  // Interleave unrelated interning in `b` so its ids diverge from `a`'s.
+  for (int x = 0; x < 100; ++x) Const(b, "noise" + std::to_string(x));
+  std::set<SymbolId> logical_a{a.InternPeer("p")};
+  std::set<SymbolId> logical_b{b.InternPeer("p")};
+  ShardRouter router_a(a, logical_a, 4);
+  ShardRouter router_b(b, logical_b, 4);
+  for (int x = 0; x < 256; ++x) {
+    const std::string lhs = "v" + std::to_string(x);
+    const std::string rhs = "v" + std::to_string(511 - x);
+    Tuple ta{Const(a, lhs), Const(a, rhs)};
+    // Reverse intern order in `b` on top of the noise offset.
+    TermId b_rhs = Const(b, rhs);
+    Tuple tb{Const(b, lhs), b_rhs};
+    EXPECT_EQ(router_a.ShardOfTuple(ta), router_b.ShardOfTuple(tb))
+        << "(" << lhs << ", " << rhs << ") routed differently";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded evaluation equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(ShardEvalTest, ShardedAnswersMatchUnshardedBothEngines) {
+  const std::string chain = bench::DistributedChainProgram(3, 12);
+  struct Workload {
+    const char* name;
+    std::string program;
+    std::string query;
+  };
+  std::vector<Workload> workloads = {
+      {"figure3", kFigure3, "r@r(\"1\", Y)"},
+      {"chain3x12", chain, "path@peer0(v0, Y)"},
+  };
+  for (const Workload& w : workloads) {
+    for (bool qsq : {false, true}) {
+      auto base = Solve(qsq, w.program, w.query, DistOptions{});
+      ASSERT_TRUE(base.ok()) << base.status().ToString();
+      for (size_t shards : {2u, 4u}) {
+        for (uint64_t seed : {1u, 2u, 3u}) {
+          DistOptions opts;
+          opts.seed = seed;
+          opts.num_shards = shards;
+          auto sharded = Solve(qsq, w.program, w.query, opts);
+          ASSERT_TRUE(sharded.ok())
+              << w.name << " " << (qsq ? "dqsq" : "dnaive") << " K=" << shards
+              << " seed=" << seed << ": " << sharded.status().ToString();
+          EXPECT_EQ(sharded->answers, base->answers)
+              << w.name << " " << (qsq ? "dqsq" : "dnaive") << " K=" << shards
+              << " seed=" << seed;
+          EXPECT_TRUE(sharded->quiescent);
+          EXPECT_EQ(sharded->num_peers, base->num_peers * shards);
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardEvalTest, ShardedReliableShimTerminatesAtScale) {
+  // Regression for the standalone-ack livelock: a sharded cluster has
+  // ~K² times the directed channels of the unsharded one, and the
+  // transport used to re-emit every owed standalone ack each ack_delay
+  // steps with no backoff. Past ~ack_delay owed channels that constant
+  // production outran the wire's one-delivery-per-step drain rate, the
+  // discharging acks queued behind the flood they created, logical traffic
+  // starved, and Dijkstra-Scholten never terminated. chain 3x8 at K=2 was
+  // the smallest reliable repro; the shim is engaged with a vanishing
+  // duplicate probability so the wire itself stays effectively lossless —
+  // the livelock needed no actual faults.
+  const std::string chain = bench::DistributedChainProgram(3, 8);
+  for (bool qsq : {false, true}) {
+    auto base = Solve(qsq, chain, "path@peer0(v0, Y)", DistOptions{});
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    for (size_t shards : {2u, 4u}) {
+      DistOptions opts;
+      opts.num_shards = shards;
+      opts.faults.duplicate = 1e-12;  // engages the shim, never fires
+      opts.max_network_steps = 60'000;
+      auto run = Solve(qsq, chain, "path@peer0(v0, Y)", opts);
+      ASSERT_TRUE(run.ok()) << (qsq ? "dqsq" : "dnaive") << " K=" << shards
+                            << ": " << run.status().ToString();
+      EXPECT_EQ(run->answers, base->answers);
+      EXPECT_TRUE(run->quiescent);
+    }
+    // And with real faults: a lossy, reordering wire at K=2 still
+    // converges to the lossless answers.
+    DistOptions lossy;
+    lossy.num_shards = 2;
+    lossy.faults.drop = 0.02;
+    lossy.faults.delay = 0.05;
+    auto run = Solve(qsq, chain, "path@peer0(v0, Y)", lossy);
+    ASSERT_TRUE(run.ok()) << (qsq ? "dqsq" : "dnaive") << " lossy: "
+                          << run.status().ToString();
+    EXPECT_EQ(run->answers, base->answers);
+  }
+}
+
+TEST(ShardEvalTest, NumShardsOneIsByteIdenticalToDefault) {
+  // K=1 must not merely match answers: the wire trajectory itself is the
+  // unsharded one (no router is even built), so every counter pins equal.
+  for (bool qsq : {false, true}) {
+    auto base = Solve(qsq, kFigure3, "r@r(\"1\", Y)", DistOptions{});
+    ASSERT_TRUE(base.ok());
+    DistOptions opts;
+    opts.num_shards = 1;
+    auto k1 = Solve(qsq, kFigure3, "r@r(\"1\", Y)", opts);
+    ASSERT_TRUE(k1.ok());
+    EXPECT_EQ(k1->answers, base->answers);
+    EXPECT_EQ(k1->stats.messages_delivered, base->stats.messages_delivered);
+    EXPECT_EQ(k1->stats.tuples_shipped, base->stats.tuples_shipped);
+    EXPECT_EQ(k1->stats.wire_messages, base->stats.wire_messages);
+    EXPECT_EQ(k1->stats.wire_bytes, base->stats.wire_bytes);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Wire batching (opt-in).
+// ---------------------------------------------------------------------------
+
+TEST(WireBatchTest, BatchingPreservesAnswersAndNeverAddsMessages) {
+  // Unsharded, a fixpoint flush carries at most one relation per target,
+  // so batching is a behavioral no-op here: answers, shipped rows and
+  // message counts all pin to the unbatched run. (Sections form under
+  // sharding — asserted in ShardedBatchingPacksSections below.)
+  const std::string chain = bench::DistributedChainProgram(4, 16);
+  for (bool qsq : {false, true}) {
+    auto base = Solve(qsq, chain, "path@peer0(v0, Y)", DistOptions{});
+    ASSERT_TRUE(base.ok());
+    DistOptions opts;
+    opts.wire_batch.enable = true;
+    opts.wire_batch.max_bytes = 4096;
+    auto batched = Solve(qsq, chain, "path@peer0(v0, Y)", opts);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    EXPECT_EQ(batched->answers, base->answers);
+    // Every row still arrives (sections count as shipped rows)...
+    EXPECT_EQ(batched->stats.tuples_shipped, base->stats.tuples_shipped);
+    // ...in no more envelopes than before.
+    EXPECT_LE(batched->stats.messages_delivered,
+              base->stats.messages_delivered);
+  }
+}
+
+TEST(WireBatchTest, ShardedBatchingPacksSections) {
+  // Under sharding the exchange and the own$ broadcasts flush several
+  // relations to the same sibling per fixpoint — exactly the small-payload
+  // shower batching exists for. Rows must ride as sections and the
+  // envelope count must drop against the sharded-unbatched run.
+  auto& registry = MetricsRegistry::Global();
+  for (bool qsq : {false, true}) {
+    DistOptions plain;
+    plain.num_shards = 2;
+    auto unbatched = Solve(qsq, kFigure3, "r@r(\"1\", Y)", plain);
+    ASSERT_TRUE(unbatched.ok());
+    DistOptions opts;
+    opts.num_shards = 2;
+    opts.wire_batch.enable = true;
+    opts.wire_batch.max_bytes = 4096;
+    MetricsSnapshot before = registry.Snapshot();
+    auto batched = Solve(qsq, kFigure3, "r@r(\"1\", Y)", opts);
+    MetricsSnapshot diff = registry.Snapshot().Diff(before);
+    ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+    EXPECT_EQ(batched->answers, unbatched->answers);
+    // Coalesced arrivals mean the receiver fixpoints over more data at
+    // once, which can only SAVE redundant intermediate shipments.
+    EXPECT_LE(batched->stats.tuples_shipped, unbatched->stats.tuples_shipped);
+    EXPECT_LT(batched->stats.messages_delivered,
+              unbatched->stats.messages_delivered)
+        << (qsq ? "dqsq" : "dnaive");
+    EXPECT_GT(diff.Total("dist.net.batched_tuples"), 0u)
+        << (qsq ? "dqsq" : "dnaive");
+  }
+}
+
+TEST(WireBatchTest, TinyBudgetSplitsOversizedPayloads) {
+  const std::string chain = bench::DistributedChainProgram(3, 16);
+  auto& registry = MetricsRegistry::Global();
+  auto base = Solve(false, chain, "path@peer0(v0, Y)", DistOptions{});
+  ASSERT_TRUE(base.ok());
+  DistOptions opts;
+  opts.wire_batch.enable = true;
+  opts.wire_batch.max_bytes = 24;  // one ~2-ary row past the 16-byte header
+  MetricsSnapshot before = registry.Snapshot();
+  auto split = Solve(false, chain, "path@peer0(v0, Y)", opts);
+  MetricsSnapshot diff = registry.Snapshot().Diff(before);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_EQ(split->answers, base->answers);
+  EXPECT_EQ(split->stats.tuples_shipped, base->stats.tuples_shipped);
+  EXPECT_GT(diff.Total("dist.net.split_tuples"), 0u);
+  EXPECT_GT(split->stats.messages_delivered, base->stats.messages_delivered);
+}
+
+TEST(WireBatchTest, ShardedAndBatchedTogetherMatchBaseline) {
+  const std::string chain = bench::DistributedChainProgram(3, 12);
+  for (bool qsq : {false, true}) {
+    auto base = Solve(qsq, chain, "path@peer0(v0, Y)", DistOptions{});
+    ASSERT_TRUE(base.ok());
+    DistOptions opts;
+    opts.num_shards = 2;
+    opts.wire_batch.enable = true;
+    opts.wire_batch.max_bytes = 256;
+    auto combined = Solve(qsq, chain, "path@peer0(v0, Y)", opts);
+    ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+    EXPECT_EQ(combined->answers, base->answers);
+    EXPECT_TRUE(combined->quiescent);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live shard migration.
+// ---------------------------------------------------------------------------
+
+TEST(MigrationTest, LiveMigrationMidEvaluationPreservesAnswers) {
+  for (bool qsq : {false, true}) {
+    auto lossless = Solve(qsq, kFigure3, "r@r(\"1\", Y)", DistOptions{});
+    ASSERT_TRUE(lossless.ok());
+    DistOptions opts;
+    opts.faults.crash.migrate_at_step = {{/*at_step=*/20, /*peer_index=*/0}};
+    opts.faults.crash.checkpoint_every = 1;
+    auto migrated = Solve(qsq, kFigure3, "r@r(\"1\", Y)", opts);
+    ASSERT_TRUE(migrated.ok()) << migrated.status().ToString();
+    EXPECT_EQ(migrated->answers, lossless->answers);
+    EXPECT_TRUE(migrated->quiescent);
+    EXPECT_EQ(migrated->stats.migrations, 1u);
+    EXPECT_EQ(migrated->stats.crashes, 0u);   // a hand-off is not a failure
+    EXPECT_EQ(migrated->stats.restarts, 0u);  // nor a crash-restart
+    // Logical traffic is migration-invariant: the epoch fence plus WAL
+    // replay hand the successor exactly the old owner's obligations.
+    EXPECT_EQ(migrated->stats.messages_delivered,
+              lossless->stats.messages_delivered);
+    EXPECT_EQ(migrated->stats.tuples_shipped,
+              lossless->stats.tuples_shipped);
+  }
+}
+
+TEST(MigrationTest, ShardedMigrationMatchesUnshardedAnswers) {
+  // Migrate one worker shard of a K=2 cluster mid-evaluation; the answers
+  // must still match the plain unsharded run.
+  for (bool qsq : {false, true}) {
+    auto base = Solve(qsq, kFigure3, "r@r(\"1\", Y)", DistOptions{});
+    ASSERT_TRUE(base.ok());
+    for (size_t peer_index : {0u, 1u, 3u}) {
+      DistOptions opts;
+      opts.num_shards = 2;
+      opts.faults.crash.migrate_at_step = {
+          {/*at_step=*/25, peer_index}};
+      opts.faults.crash.checkpoint_every = 2;
+      auto migrated = Solve(qsq, kFigure3, "r@r(\"1\", Y)", opts);
+      ASSERT_TRUE(migrated.ok())
+          << (qsq ? "dqsq" : "dnaive") << " shard-index " << peer_index
+          << ": " << migrated.status().ToString();
+      EXPECT_EQ(migrated->answers, base->answers);
+      EXPECT_TRUE(migrated->quiescent);
+      EXPECT_EQ(migrated->stats.migrations, 1u);
+    }
+  }
+}
+
+TEST(MigrationSoakTest, CrashesAroundMigrationAcrossSeeds) {
+  // The satellite soak: schedules where the OLD owner dies before its
+  // migration, the NEW owner dies right after taking over, and WAL replay
+  // is mid-flight (checkpoint_every > 1) — across 20 seeds, both engines.
+  struct Schedule {
+    const char* name;
+    CrashPlan plan;
+  };
+  std::vector<Schedule> schedules;
+  // Every event sits early in the run (a lossless Figure3 run is longer
+  // than 25 clock units on every seed) so the schedules always fire.
+  {
+    // Old owner killed first; the migration then moves the restarted peer.
+    CrashPlan p;
+    p.crash_at_step = {{/*at_step=*/8, /*peer_index=*/0}};
+    p.migrate_at_step = {{/*at_step=*/20, /*peer_index=*/0}};
+    p.down_for = 8;
+    p.checkpoint_every = 1;
+    schedules.push_back({"old-owner-killed", p});
+  }
+  {
+    // New owner killed right after the hand-off.
+    CrashPlan p;
+    p.migrate_at_step = {{/*at_step=*/12, /*peer_index=*/0}};
+    p.crash_at_step = {{/*at_step=*/16, /*peer_index=*/0}};
+    p.down_for = 8;
+    p.checkpoint_every = 1;
+    schedules.push_back({"new-owner-killed", p});
+  }
+  {
+    // Migration lands while the WAL has unreplayed suffix (sparse
+    // checkpoints) and a second peer dies around it.
+    CrashPlan p;
+    p.migrate_at_step = {{/*at_step=*/14, /*peer_index=*/1}};
+    p.crash_at_step = {{/*at_step=*/10, /*peer_index=*/0}};
+    p.down_for = 16;
+    p.checkpoint_every = 4;
+    schedules.push_back({"in-flight-wal", p});
+  }
+  for (bool qsq : {false, true}) {
+    auto lossless = Solve(qsq, kFigure3, "r@r(\"1\", Y)", DistOptions{});
+    ASSERT_TRUE(lossless.ok());
+    for (const Schedule& schedule : schedules) {
+      for (uint64_t seed = 1; seed <= 20; ++seed) {
+        DistOptions opts;
+        opts.seed = seed;
+        opts.faults.crash = schedule.plan;
+        auto run = Solve(qsq, kFigure3, "r@r(\"1\", Y)", opts);
+        ASSERT_TRUE(run.ok())
+            << (qsq ? "dqsq" : "dnaive") << " " << schedule.name << " seed "
+            << seed << ": " << run.status().ToString();
+        EXPECT_EQ(run->answers, lossless->answers)
+            << (qsq ? "dqsq" : "dnaive") << " " << schedule.name << " seed "
+            << seed;
+        EXPECT_TRUE(run->quiescent);
+        EXPECT_EQ(run->stats.migrations, 1u);
+        // DS quiescence plus logical invariance survive the combination.
+        EXPECT_EQ(run->stats.messages_delivered,
+                  lossless->stats.messages_delivered);
+        EXPECT_EQ(run->stats.tuples_shipped, lossless->stats.tuples_shipped);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dqsq::dist

@@ -198,6 +198,68 @@ TEST(SocketNetworkTest, GarbageBytesPoisonOnlyTheirConnection) {
   close(fd);
 }
 
+// Regression for the FlushConnection send loop: with a tiny SO_SNDBUF the
+// kernel accepts only part of each write (short writes, then EAGAIN), so
+// a large burst must survive many resume-at-offset flush rounds. A wrong
+// offset resume corrupts the byte stream, which the receiver's framing
+// layer would report — so "everything delivered, zero framing errors"
+// pins the path.
+TEST(SocketNetworkTest, TinySendBufferDeliversLargeBurstIntact) {
+  DatalogContext ctx_a, ctx_b;
+  SocketNetworkOptions small;
+  small.sndbuf_bytes = 4096;  // kernel clamps to its minimum; still tiny
+  SocketNetwork a(ctx_a, small);
+  SocketNetwork b(ctx_b);
+  ASSERT_TRUE(a.Listen("127.0.0.1", 0).ok());
+  ASSERT_TRUE(b.Listen("127.0.0.1", 0).ok());
+
+  SymbolId client_a = ctx_a.symbols().Intern("client");
+  SymbolId sink_b = ctx_b.symbols().Intern("sink");
+  RecordingPeer client(client_a, /*echo=*/false);
+  RecordingPeer sink(sink_b, /*echo=*/false);
+  a.Register(client_a, &client);
+  b.Register(sink_b, &sink);
+  a.SetAddress("sink", SocketAddress{"127.0.0.1", b.listen_port()});
+
+  // ~200 messages x 50 wide tuples: far beyond any clamped send buffer,
+  // queued in one burst so the outbuf backlog spans many flush rounds.
+  const int kMessages = 200;
+  const int kTuplesPer = 50;
+  const RelId rel{ctx_a.InternPredicate("r", 4),
+                  ctx_a.symbols().Intern("sink")};
+  for (int i = 0; i < kMessages; ++i) {
+    Message m;
+    m.kind = MessageKind::kTuples;
+    m.from = client_a;
+    m.to = ctx_a.symbols().Intern("sink");
+    m.rel = rel;
+    for (int j = 0; j < kTuplesPer; ++j) {
+      Tuple t;
+      for (int c = 0; c < 4; ++c) {
+        t.push_back(ctx_a.arena().MakeConstant(ctx_a.symbols().Intern(
+            "m" + std::to_string(i) + "t" + std::to_string(j) + "c" +
+            std::to_string(c))));
+      }
+      m.tuples.push_back(std::move(t));
+    }
+    a.Send(std::move(m));
+  }
+
+  PumpBoth(a, b, [&] { return sink.received.size() == size_t(kMessages); },
+           20000);
+  ASSERT_EQ(sink.received.size(), size_t(kMessages));
+  EXPECT_EQ(b.stats().tuples_shipped, size_t(kMessages) * kTuplesPer);
+  EXPECT_EQ(b.stats().framing_errors, 0u);
+  EXPECT_EQ(a.stats().frames_sent, size_t(kMessages));
+  // Every payload survived the re-interning round trip in order.
+  for (int i = 0; i < kMessages; ++i) {
+    const Message& got = sink.received[i];
+    ASSERT_EQ(got.tuples.size(), size_t(kTuplesPer));
+    EXPECT_EQ(ctx_b.arena().ToString(got.tuples[0][0], ctx_b.symbols()),
+              "m" + std::to_string(i) + "t0c0");
+  }
+}
+
 TEST(SocketNetworkTest, PumpUntilTimesOut) {
   DatalogContext ctx;
   SocketNetwork net(ctx);
