@@ -1,0 +1,155 @@
+// E6 — distributed diagnosability analysis (ROADMAP item 4). A 50-seed
+// sweep of random fault-labelled nets; every seed's twin-plant verifier
+// program is solved by all five engines:
+//
+//   oracle     brute-force twin-plant + SCC (petri/reference_verifier.h)
+//   seminaive  centralized bottom-up over the verifier Datalog program
+//   qsq        centralized QSQ of the same program
+//   dnaive     distributed naive over the simulated cluster
+//   dqsq       distributed QSQ over the simulated cluster
+//
+// The verdicts must agree on EVERY seed (checked here, not just
+// reported), the sweep must contain at least one undiagnosable instance,
+// and every undiagnosable verdict must carry a witness lasso that
+// replay-checks through the token game. All counts in
+// BENCH_E6_diagnosability.json are deterministic (seeded generator,
+// seeded sim network); wall clocks only appear in *_ns params, which the
+// baseline guard excludes from exact comparison and bounds with
+// --max-timing-ratio.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "common/rng.h"
+#include "diagnosis/diagnosability.h"
+#include "petri/random_net.h"
+
+using namespace dqsq;
+
+namespace {
+
+constexpr uint64_t kNumSeeds = 50;
+
+/// Same generator ramp as tests/diagnosis/diagnosability_property_test.cc:
+/// a third of the seeds draw no faults, the rest sweep fault and hidden
+/// densities so the sweep crosses the diagnosable/undiagnosable boundary.
+petri::PetriNet NetForSeed(uint64_t seed) {
+  petri::RandomNetOptions options;
+  options.num_peers = 2 + static_cast<uint32_t>(seed % 2);
+  options.places_per_peer = 3;
+  options.transitions_per_peer = 3 + static_cast<uint32_t>(seed % 3);
+  options.sync_probability = 0.3;
+  options.num_alarm_symbols = 1 + static_cast<uint32_t>(seed % 3);
+  options.hidden_probability = (seed % 3 == 0) ? 0.2 : 0.4;
+  options.fault_fraction = (seed % 3 == 0)   ? 0.0
+                           : (seed % 3 == 1) ? 0.25
+                                             : 0.5;
+  Rng rng(seed);
+  return petri::MakeRandomNet(options, rng);
+}
+
+struct EngineTotals {
+  size_t undiagnosable = 0;
+  size_t witnesses_replayed = 0;
+  size_t total_facts = 0;
+  size_t messages = 0;
+  size_t tuples_shipped = 0;
+  int64_t wall_ns = 0;
+};
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReporter reporter("E6_diagnosability");
+  const diagnosis::DiagnosabilityEngine kEngines[] = {
+      diagnosis::DiagnosabilityEngine::kReference,
+      diagnosis::DiagnosabilityEngine::kCentralSemiNaive,
+      diagnosis::DiagnosabilityEngine::kCentralQsq,
+      diagnosis::DiagnosabilityEngine::kDistNaive,
+      diagnosis::DiagnosabilityEngine::kDistQsq,
+  };
+
+  EngineTotals totals[5];
+  size_t verifier_states = 0;
+  size_t verifier_edges = 0;
+
+  std::printf("E6: diagnosability verdicts over %llu seeded nets\n",
+              static_cast<unsigned long long>(kNumSeeds));
+  for (uint64_t seed = 1; seed <= kNumSeeds; ++seed) {
+    petri::PetriNet net = NetForSeed(seed);
+    bool verdicts[5];
+    for (int i = 0; i < 5; ++i) {
+      diagnosis::DiagnosabilityOptions options;
+      options.engine = kEngines[i];
+      options.seed = seed;
+      const int64_t start = NowNs();
+      auto result = diagnosis::CheckDiagnosability(net, options);
+      DQSQ_CHECK_OK(result.status());
+      totals[i].wall_ns += NowNs() - start;
+      verdicts[i] = result->diagnosable;
+      if (!result->diagnosable) {
+        ++totals[i].undiagnosable;
+        // CheckDiagnosability replay-checks before returning a witness;
+        // its presence certifies the counterexample.
+        DQSQ_CHECK(result->witness.has_value()) << "seed " << seed;
+        ++totals[i].witnesses_replayed;
+      }
+      totals[i].total_facts += result->total_facts;
+      totals[i].messages += result->messages;
+      totals[i].tuples_shipped += result->tuples_shipped;
+      if (i == 0) {
+        verifier_states += result->verifier_states;
+        verifier_edges += result->verifier_edges;
+      }
+    }
+    for (int i = 1; i < 5; ++i) {
+      DQSQ_CHECK(verdicts[i] == verdicts[0])
+          << "verdict mismatch at seed " << seed << ": "
+          << DiagnosabilityEngineName(kEngines[i]) << " disagrees with the "
+          << "oracle";
+    }
+  }
+  DQSQ_CHECK(totals[0].undiagnosable >= 1)
+      << "sweep produced no undiagnosable instance";
+  DQSQ_CHECK(totals[0].undiagnosable < kNumSeeds)
+      << "sweep produced no diagnosable instance";
+
+  std::printf("%-10s | %14s %14s | %10s %10s %10s\n", "engine",
+              "undiagnosable", "witnesses", "facts", "messages", "wall-ms");
+  reporter.Param("seeds", static_cast<int64_t>(kNumSeeds));
+  reporter.Param("diagnosable",
+                 static_cast<int64_t>(kNumSeeds - totals[0].undiagnosable));
+  reporter.Param("undiagnosable",
+                 static_cast<int64_t>(totals[0].undiagnosable));
+  reporter.Param("verifier_states_total",
+                 static_cast<int64_t>(verifier_states));
+  reporter.Param("verifier_edges_total", static_cast<int64_t>(verifier_edges));
+  for (int i = 0; i < 5; ++i) {
+    const std::string name = DiagnosabilityEngineName(kEngines[i]);
+    const EngineTotals& t = totals[i];
+    std::printf("%-10s | %14zu %14zu | %10zu %10zu %10.1f\n", name.c_str(),
+                t.undiagnosable, t.witnesses_replayed, t.total_facts,
+                t.messages, t.wall_ns / 1e6);
+    reporter.Param(name + ".undiagnosable",
+                   static_cast<int64_t>(t.undiagnosable));
+    reporter.Param(name + ".witnesses_replayed",
+                   static_cast<int64_t>(t.witnesses_replayed));
+    reporter.Param(name + ".total_facts", static_cast<int64_t>(t.total_facts));
+    if (t.messages > 0) {
+      reporter.Param(name + ".messages", static_cast<int64_t>(t.messages));
+      reporter.Param(name + ".tuples_shipped",
+                     static_cast<int64_t>(t.tuples_shipped));
+    }
+    reporter.Param(name + "_ns", t.wall_ns);
+  }
+  reporter.Param("verdicts_agree", std::string("true"));
+  return 0;
+}

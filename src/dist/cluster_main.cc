@@ -41,11 +41,15 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/rng.h"
+#include "diagnosis/diagnosability.h"
 #include "dist/cluster.h"
 #include "dist/dnaive.h"
 #include "dist/dqsq.h"
 #include "dist/shard.h"
 #include "dist/socket_network.h"
+#include "petri/random_net.h"
+#include "petri/verifier.h"
 
 namespace dqsq::dist {
 namespace {
@@ -59,10 +63,14 @@ struct Args {
   int port = 0;                      // supervisor listen port (0 = kernel)
   int procs = 4;                     // peer processes to spawn
   int shards = 1;                    // worker shards per logical peer
-  std::string program_path;          // program file; empty = chain workload
+  std::string program_path;          // program file; empty = generated
+  std::string workload = "chain";    // chain | diag (generated programs)
   std::string query = "path@peer0(v0, Y)";
   int chain_peers = 6;               // generated workload shape
   int chain_edges = 4;
+  int net_peers = 3;                 // diag workload: random net shape
+  int net_transitions = 5;
+  double fault_fraction = 0.25;      // diag workload: fault density
   uint64_t seed = 1;
   int timeout_ms = 60000;            // per supervisor phase
   bool check_against_sim = false;
@@ -84,8 +92,15 @@ std::optional<Args> ParseArgs(int argc, char** argv) {
     std::string value;
     if (eat("--mode", &args.mode) || eat("--engine", &args.engine) ||
         eat("--host", &args.host) || eat("--program", &args.program_path) ||
-        eat("--query", &args.query) || eat("--supervisor", &args.supervisor)) {
+        eat("--workload", &args.workload) || eat("--query", &args.query) ||
+        eat("--supervisor", &args.supervisor)) {
       continue;
+    } else if (eat("--net-peers", &value)) {
+      args.net_peers = std::stoi(value);
+    } else if (eat("--net-transitions", &value)) {
+      args.net_transitions = std::stoi(value);
+    } else if (eat("--fault-fraction", &value)) {
+      args.fault_fraction = std::stod(value);
     } else if (eat("--port", &value)) {
       args.port = std::stoi(value);
     } else if (eat("--procs", &value)) {
@@ -739,18 +754,42 @@ StatusOr<SimRun> RunSim(const Args& args, const std::string& program_text,
   return run;
 }
 
-std::string LoadProgramText(const Args& args) {
-  if (args.program_path.empty()) {
-    return ChainProgramText(args.chain_peers, args.chain_edges);
-  }
-  std::ifstream in(args.program_path);
-  DQSQ_CHECK(in.good()) << "cannot read program file " << args.program_path;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return buf.str();
+/// The E6 distributed-diagnosability workload: a seeded random net with
+/// fault transitions, compiled to the twin-plant verifier program
+/// (diagnosis/diagnosability.h). Sets args.query to the witness query —
+/// the run answers "diagnosable?" with answers == 0 meaning yes.
+std::string DiagProgramText(Args& args) {
+  petri::RandomNetOptions options;
+  options.num_peers = static_cast<uint32_t>(args.net_peers);
+  options.transitions_per_peer = static_cast<uint32_t>(args.net_transitions);
+  options.hidden_probability = 0.3;
+  options.fault_fraction = args.fault_fraction;
+  Rng rng(args.seed);
+  petri::PetriNet net = petri::MakeRandomNet(options, rng);
+  auto verifier = petri::VerifierNet::Build(net);
+  DQSQ_CHECK_OK(verifier.status());
+  auto text = diagnosis::BuildVerifierProgramText(*verifier);
+  DQSQ_CHECK_OK(text.status());
+  args.query = text->query;
+  return text->program;
 }
 
-int RunSupervisor(const Args& args) {
+std::string LoadProgramText(Args& args) {
+  if (!args.program_path.empty()) {
+    std::ifstream in(args.program_path);
+    DQSQ_CHECK(in.good()) << "cannot read program file " << args.program_path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  }
+  if (args.workload == "diag") return DiagProgramText(args);
+  DQSQ_CHECK(args.workload == "chain")
+      << "unknown --workload=" << args.workload;
+  return ChainProgramText(args.chain_peers, args.chain_edges);
+}
+
+int RunSupervisor(const Args& args_in) {
+  Args args = args_in;
   Cluster::Mode mode = args.engine == "dnaive" ? Cluster::Mode::kEvaluate
                                                : Cluster::Mode::kSourceOnly;
   std::string program_text = LoadProgramText(args);

@@ -36,7 +36,7 @@ TransitionId PetriNet::AddTransition(std::string name, PeerIndex peer,
                                      std::string alarm,
                                      std::vector<PlaceId> pre,
                                      std::vector<PlaceId> post,
-                                     bool observable) {
+                                     bool observable, bool fault) {
   DQSQ_CHECK_LT(peer, peers_.size());
   TransitionId t = static_cast<TransitionId>(transitions_.size());
   for (PlaceId p : pre) {
@@ -48,7 +48,7 @@ TransitionId PetriNet::AddTransition(std::string name, PeerIndex peer,
     producers_[p].push_back(t);
   }
   transitions_.push_back(Transition{std::move(name), peer, std::move(alarm),
-                                    observable, std::move(pre),
+                                    observable, fault, std::move(pre),
                                     std::move(post)});
   return t;
 }
@@ -72,6 +72,14 @@ std::vector<TransitionId> PetriNet::TransitionsOfPeer(PeerIndex p) const {
   std::vector<TransitionId> out;
   for (TransitionId t = 0; t < transitions_.size(); ++t) {
     if (transitions_[t].peer == p) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TransitionId> PetriNet::FaultTransitions() const {
+  std::vector<TransitionId> out;
+  for (TransitionId t = 0; t < transitions_.size(); ++t) {
+    if (transitions_[t].fault) out.push_back(t);
   }
   return out;
 }
@@ -191,7 +199,8 @@ std::string PetriNet::ToString() const {
   for (TransitionId t = 0; t < transitions_.size(); ++t) {
     const Transition& tr = transitions_[t];
     out += "  " + tr.name + "@" + peers_[tr.peer] + " [" + tr.alarm +
-           (tr.observable ? "" : ", hidden") + "]: {";
+           (tr.observable ? "" : ", hidden") + (tr.fault ? ", fault" : "") +
+           "]: {";
     for (size_t i = 0; i < tr.pre.size(); ++i) {
       if (i > 0) out += ",";
       out += places_[tr.pre[i]].name;

@@ -44,6 +44,10 @@ struct Transition {
   PeerIndex peer;
   std::string alarm;           // α(t)
   bool observable = true;      // §4.4: hidden transitions are unobservable
+  /// Fault label for diagnosability analysis (petri/verifier.h): the
+  /// twin-plant construction asks whether firing a fault transition is
+  /// always detectable from the observable alarms within bounded delay.
+  bool fault = false;
   std::vector<PlaceId> pre;    // •t
   std::vector<PlaceId> post;   // t•
 };
@@ -57,7 +61,8 @@ class PetriNet {
   PlaceId AddPlace(std::string name, PeerIndex peer);
   TransitionId AddTransition(std::string name, PeerIndex peer,
                              std::string alarm, std::vector<PlaceId> pre,
-                             std::vector<PlaceId> post, bool observable);
+                             std::vector<PlaceId> post, bool observable,
+                             bool fault = false);
   void SetInitialMarking(std::vector<PlaceId> marked);
 
   // --- structure ---
@@ -75,6 +80,8 @@ class PetriNet {
   PeerIndex FindPeer(const std::string& name) const;
   /// Transitions of peer `p`.
   std::vector<TransitionId> TransitionsOfPeer(PeerIndex p) const;
+  /// Transitions carrying the fault label, in id order.
+  std::vector<TransitionId> FaultTransitions() const;
 
   /// Transitions producing into place `p` (the place's parents).
   const std::vector<TransitionId>& Producers(PlaceId p) const {

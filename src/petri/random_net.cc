@@ -47,9 +47,14 @@ PetriNet MakeRandomNet(const RandomNetOptions& options, Rng& rng) {
       std::string alarm =
           "a" + std::to_string(rng.NextBelow(options.num_alarm_symbols));
       bool observable = !rng.NextBool(options.hidden_probability);
+      // Guarded so the RNG stream (and hence every seeded net) is
+      // unchanged when the knob is off.
+      bool fault = options.fault_fraction > 0.0 &&
+                   rng.NextBool(options.fault_fraction);
+      if (fault) observable = false;
       net.AddTransition(
           "t" + std::to_string(p) + "_" + std::to_string(k), peers[p], alarm,
-          std::move(pre), std::move(post), observable);
+          std::move(pre), std::move(post), observable, fault);
     }
   }
   net.SetInitialMarking(init);

@@ -23,6 +23,13 @@ struct RandomNetOptions {
   uint32_t num_alarm_symbols = 3;
   /// Probability that a transition is unobservable (§4.4 hidden alarms).
   double hidden_probability = 0.0;
+  /// Probability that a transition carries the fault label (diagnosability
+  /// analysis, petri/verifier.h). Fault transitions are forced
+  /// unobservable — an observed fault is detected trivially — so raising
+  /// this sweeps the net from diagnosable into undiagnosable regimes.
+  /// The default 0.0 draws nothing from the RNG and generates exactly the
+  /// nets of earlier revisions (pinned by seed tests).
+  double fault_fraction = 0.0;
 };
 
 /// Generates a safe net; deterministic for a given (options, rng state).

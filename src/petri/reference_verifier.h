@@ -1,0 +1,42 @@
+// Brute-force diagnosability oracle: explicitly enumerates the twin-plant
+// state space and decides the ambiguous-cycle condition by strongly
+// connected components, mirroring reference_diagnoser's role for the
+// diagnosis problem. The semantics is the one documented in
+// petri/verifier.h — NOT diagnosable iff a reachable ambiguous twin state
+// lies on a cycle that advances the left (faulty) copy — but the code
+// shares nothing with VerifierNet or the Datalog encoding: its own state
+// interning, its own successor generator, and an SCC-based cycle test
+// instead of transitive closure. Agreement between the two is the
+// correctness story of the E6 experiment.
+#ifndef DQSQ_PETRI_REFERENCE_VERIFIER_H_
+#define DQSQ_PETRI_REFERENCE_VERIFIER_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "petri/net.h"
+#include "petri/verifier.h"
+
+namespace dqsq::petri {
+
+struct ReferenceVerifierOptions {
+  /// Twin-state budget; exceeded => RESOURCE_EXHAUSTED.
+  size_t max_states = 200000;
+};
+
+struct ReferenceVerifierResult {
+  bool diagnosable = true;
+  size_t states = 0;
+  size_t edges = 0;
+  /// An ambiguous lasso when not diagnosable, in the shared witness shape
+  /// so tests can replay it through ReplayWitness.
+  std::optional<AmbiguousWitness> witness;
+};
+
+/// Decides diagnosability of `net` by exhaustive twin-plant search.
+StatusOr<ReferenceVerifierResult> ReferenceDiagnosability(
+    const PetriNet& net, const ReferenceVerifierOptions& options = {});
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_REFERENCE_VERIFIER_H_

@@ -1,0 +1,296 @@
+#include "petri/verifier.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace dqsq::petri {
+
+namespace {
+
+/// Interning key for a twin state.
+struct TwinKey {
+  Marking left;
+  Marking right;
+  bool fault;
+
+  friend bool operator==(const TwinKey& a, const TwinKey& b) {
+    return a.fault == b.fault && a.left == b.left && a.right == b.right;
+  }
+};
+
+struct TwinKeyHash {
+  size_t operator()(const TwinKey& k) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (bool b : k.left) HashCombine(h, b ? 2 : 1);
+    HashCombine(h, 7);
+    for (bool b : k.right) HashCombine(h, b ? 2 : 1);
+    HashCombine(h, k.fault ? 2 : 1);
+    return h;
+  }
+};
+
+}  // namespace
+
+StatusOr<VerifierNet> VerifierNet::Build(const PetriNet& net,
+                                         const VerifierOptions& options) {
+  DQSQ_RETURN_IF_ERROR(net.Validate());
+  VerifierNet v;
+  v.net_ = &net;
+
+  std::unordered_map<TwinKey, uint32_t, TwinKeyHash> index;
+  auto intern = [&](TwinKey key) -> uint32_t {
+    auto [it, inserted] = index.emplace(key, v.states_.size());
+    if (inserted) {
+      v.states_.push_back(VerifierState{std::move(key.left),
+                                        std::move(key.right), key.fault});
+      v.out_edges_.emplace_back();
+    }
+    return it->second;
+  };
+
+  intern(TwinKey{net.initial_marking(), net.initial_marking(), false});
+  for (uint32_t s = 0; s < v.states_.size(); ++s) {
+    if (v.states_.size() > options.max_states) {
+      return ResourceExhaustedError(
+          "verifier exceeded twin-state budget of " +
+          std::to_string(options.max_states));
+    }
+    // Copy: intern() growing states_ invalidates references.
+    const Marking left = v.states_[s].left;
+    const Marking right = v.states_[s].right;
+    const bool fault = v.states_[s].fault;
+
+    auto add_edge = [&](TwinKey next, VerifierMove move, TransitionId tl,
+                        TransitionId tr, PeerIndex peer) {
+      uint32_t to = intern(std::move(next));
+      uint32_t id = static_cast<uint32_t>(v.edges_.size());
+      v.edges_.push_back(VerifierEdge{s, to, move, tl, tr, peer});
+      v.out_edges_[s].push_back(id);
+    };
+
+    for (TransitionId tl = 0; tl < net.num_transitions(); ++tl) {
+      const Transition& t1 = net.transition(tl);
+      if (!net.IsEnabled(left, tl)) continue;
+      DQSQ_ASSIGN_OR_RETURN(Marking left2, net.Fire(left, tl));
+      if (!t1.observable) {
+        // Left copy moves alone on unobservable transitions (faulty or
+        // not); the observation is unchanged.
+        add_edge(TwinKey{std::move(left2), right, fault || t1.fault},
+                 VerifierMove::kLeft, tl, kInvalidId, t1.peer);
+        continue;
+      }
+      // Observable: must pair with an observable non-fault transition of
+      // the right copy carrying the same (peer, alarm) — the two runs
+      // then extend their per-peer observations identically.
+      for (TransitionId tr = 0; tr < net.num_transitions(); ++tr) {
+        const Transition& t2 = net.transition(tr);
+        if (!t2.observable || t2.fault) continue;
+        if (t2.peer != t1.peer || t2.alarm != t1.alarm) continue;
+        if (!net.IsEnabled(right, tr)) continue;
+        DQSQ_ASSIGN_OR_RETURN(Marking right2, net.Fire(right, tr));
+        add_edge(TwinKey{left2, std::move(right2), fault || t1.fault},
+                 VerifierMove::kSync, tl, tr, t1.peer);
+      }
+    }
+    for (TransitionId tr = 0; tr < net.num_transitions(); ++tr) {
+      const Transition& t2 = net.transition(tr);
+      if (t2.observable || t2.fault) continue;
+      if (!net.IsEnabled(right, tr)) continue;
+      DQSQ_ASSIGN_OR_RETURN(Marking right2, net.Fire(right, tr));
+      add_edge(TwinKey{left, std::move(right2), fault}, VerifierMove::kRight,
+               kInvalidId, tr, t2.peer);
+    }
+  }
+  return v;
+}
+
+uint32_t VerifierNet::FindState(const std::string& name) const {
+  if (name.size() < 2 || name[0] != 'v') return kInvalidId;
+  uint32_t s = 0;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return kInvalidId;
+    s = s * 10 + static_cast<uint32_t>(name[i] - '0');
+  }
+  return s < states_.size() ? s : kInvalidId;
+}
+
+namespace {
+
+/// Shortest edge path `from` -> `to` by BFS; empty when from == to.
+StatusOr<std::vector<uint32_t>> EdgePath(const VerifierNet& v, uint32_t from,
+                                         uint32_t to) {
+  if (from == to) return std::vector<uint32_t>{};
+  std::vector<uint32_t> pred_edge(v.num_states(), kInvalidId);
+  std::vector<bool> seen(v.num_states(), false);
+  seen[from] = true;
+  std::deque<uint32_t> frontier{from};
+  while (!frontier.empty()) {
+    uint32_t s = frontier.front();
+    frontier.pop_front();
+    for (uint32_t e : v.OutEdges(s)) {
+      uint32_t next = v.edges()[e].to;
+      if (seen[next]) continue;
+      seen[next] = true;
+      pred_edge[next] = e;
+      if (next == to) {
+        std::vector<uint32_t> path;
+        for (uint32_t cur = to; cur != from;) {
+          path.push_back(pred_edge[cur]);
+          cur = v.edges()[pred_edge[cur]].from;
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(next);
+    }
+  }
+  return NotFoundError("no verifier path " + VerifierNet::StateName(from) +
+                       " -> " + VerifierNet::StateName(to));
+}
+
+VerifierStep StepOf(const VerifierEdge& e) {
+  return VerifierStep{e.move, e.left, e.right};
+}
+
+}  // namespace
+
+StatusOr<AmbiguousWitness> VerifierNet::ExtractWitness(uint32_t anchor) const {
+  if (anchor >= states_.size()) {
+    return InvalidArgumentError("anchor state out of range");
+  }
+  if (!ambiguous(anchor)) {
+    return FailedPreconditionError("witness anchor " + StateName(anchor) +
+                                   " is not ambiguous");
+  }
+  AmbiguousWitness witness;
+  witness.anchor = anchor;
+  DQSQ_ASSIGN_OR_RETURN(std::vector<uint32_t> prefix,
+                        EdgePath(*this, initial_state(), anchor));
+  for (uint32_t e : prefix) witness.prefix.push_back(StepOf(edges_[e]));
+
+  // A fault-advancing first edge, then back to the anchor. The fault flag
+  // is monotone, so everything reachable from the (ambiguous) anchor stays
+  // ambiguous — no filtering is needed on the return path.
+  for (uint32_t e : out_edges_[anchor]) {
+    const VerifierEdge& first = edges_[e];
+    if (!first.AdvancesFaultyCopy()) continue;
+    auto back = EdgePath(*this, first.to, anchor);
+    if (!back.ok()) continue;
+    witness.cycle.push_back(StepOf(first));
+    for (uint32_t b : *back) witness.cycle.push_back(StepOf(edges_[b]));
+    return witness;
+  }
+  return NotFoundError("no ambiguous cycle anchored at " + StateName(anchor));
+}
+
+std::string VerifierNet::ToString() const {
+  std::string out = "VerifierNet{states=" + std::to_string(states_.size()) +
+                    ", edges=" + std::to_string(edges_.size()) +
+                    ", ambiguous=";
+  size_t ambiguous_states = 0;
+  for (uint32_t s = 0; s < states_.size(); ++s) {
+    if (ambiguous(s)) ++ambiguous_states;
+  }
+  out += std::to_string(ambiguous_states) + "}";
+  return out;
+}
+
+Status ReplayWitness(const PetriNet& net, const AmbiguousWitness& witness) {
+  if (witness.cycle.empty()) {
+    return FailedPreconditionError("witness cycle is empty");
+  }
+  Marking left = net.initial_marking();
+  Marking right = net.initial_marking();
+  bool left_fault = false;
+  // Per-peer observable alarm projections, rebuilt independently for each
+  // copy and compared at the end.
+  std::map<PeerIndex, std::vector<std::string>> left_obs, right_obs;
+
+  auto fire_left = [&](TransitionId t) -> Status {
+    DQSQ_ASSIGN_OR_RETURN(left, net.Fire(left, t));
+    const Transition& tr = net.transition(t);
+    if (tr.fault) left_fault = true;
+    if (tr.observable) left_obs[tr.peer].push_back(tr.alarm);
+    return Status::Ok();
+  };
+  auto fire_right = [&](TransitionId t) -> Status {
+    const Transition& tr = net.transition(t);
+    if (tr.fault) {
+      return FailedPreconditionError("right (fault-free) copy fires fault "
+                                     "transition " + tr.name);
+    }
+    DQSQ_ASSIGN_OR_RETURN(right, net.Fire(right, t));
+    if (tr.observable) right_obs[tr.peer].push_back(tr.alarm);
+    return Status::Ok();
+  };
+
+  auto replay = [&](const std::vector<VerifierStep>& steps) -> Status {
+    for (const VerifierStep& step : steps) {
+      switch (step.move) {
+        case VerifierMove::kSync: {
+          const Transition& tl = net.transition(step.left);
+          const Transition& tr = net.transition(step.right);
+          if (!tl.observable || !tr.observable) {
+            return FailedPreconditionError("sync step fires an unobservable "
+                                           "transition");
+          }
+          if (tl.peer != tr.peer || tl.alarm != tr.alarm) {
+            return FailedPreconditionError(
+                "sync step pairs mismatched observations: " + tl.name +
+                " vs " + tr.name);
+          }
+          DQSQ_RETURN_IF_ERROR(fire_left(step.left));
+          DQSQ_RETURN_IF_ERROR(fire_right(step.right));
+          break;
+        }
+        case VerifierMove::kLeft:
+          if (net.transition(step.left).observable) {
+            return FailedPreconditionError("solo left step is observable");
+          }
+          DQSQ_RETURN_IF_ERROR(fire_left(step.left));
+          break;
+        case VerifierMove::kRight:
+          if (net.transition(step.right).observable) {
+            return FailedPreconditionError("solo right step is observable");
+          }
+          DQSQ_RETURN_IF_ERROR(fire_right(step.right));
+          break;
+      }
+    }
+    return Status::Ok();
+  };
+
+  DQSQ_RETURN_IF_ERROR(replay(witness.prefix));
+  if (!left_fault) {
+    return FailedPreconditionError("witness prefix fires no fault in the "
+                                   "left copy — the anchor is not ambiguous");
+  }
+  const Marking anchor_left = left;
+  const Marking anchor_right = right;
+
+  DQSQ_RETURN_IF_ERROR(replay(witness.cycle));
+  if (left != anchor_left || right != anchor_right) {
+    return FailedPreconditionError("witness cycle does not return to the "
+                                   "anchor's marking pair");
+  }
+  bool advances = false;
+  for (const VerifierStep& step : witness.cycle) {
+    if (step.move != VerifierMove::kRight) advances = true;
+  }
+  if (!advances) {
+    return FailedPreconditionError("witness cycle never advances the faulty "
+                                   "copy");
+  }
+  if (left_obs != right_obs) {
+    return FailedPreconditionError("witness runs have different per-peer "
+                                   "observable projections");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dqsq::petri

@@ -1,0 +1,141 @@
+// Twin-plant verifier graph for diagnosability analysis (Brandán Briones/
+// Madalinski/Ponce-de-León, arXiv 1502.07744 and 1502.07466; the marking-
+// level construction goes back to Jiang et al. and Yoo–Lafortune).
+//
+// Two synchronized copies of the plant run side by side from the initial
+// marking: the LEFT copy may fire any transition and tracks whether a
+// fault transition has fired; the RIGHT copy is the fault-free plant
+// (fault transitions are excluded). Unobservable transitions fire
+// asynchronously in either copy; observable transitions fire as
+// synchronized PAIRS (t_left, t_right) with equal (peer, alarm) — exactly
+// the repo's observation model, where the supervisor sees per-peer alarm
+// subsequences and nothing about the cross-peer interleaving.
+//
+// A verifier state (M_left, M_right, fault) is AMBIGUOUS when fault holds:
+// the two copies have produced identical observations, yet only the left
+// one has failed. The plant is NOT diagnosable iff some reachable
+// ambiguous state lies on a cycle that advances the left (faulty) copy at
+// least once — pumping the cycle yields an arbitrarily long faulty run
+// whose observation is matched by a fault-free run, so no supervisor can
+// ever announce the fault. (Deadlocking faulty runs do not violate
+// diagnosability under this convention, matching the liveness assumption
+// of the classical works.) Because the fault flag is monotone, every
+// state on such a cycle is ambiguous, which makes the search a plain
+// reachability problem — diagnosis/diagnosability.h encodes it as a
+// Datalog program; petri/reference_verifier.h answers it by brute force.
+#ifndef DQSQ_PETRI_VERIFIER_H_
+#define DQSQ_PETRI_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "petri/net.h"
+
+namespace dqsq::petri {
+
+struct VerifierOptions {
+  /// Twin-state budget; exceeded => RESOURCE_EXHAUSTED. The state space
+  /// is bounded by (reachable markings)^2 * 2.
+  size_t max_states = 200000;
+};
+
+/// How a verifier edge moves the two copies.
+enum class VerifierMove : uint8_t {
+  kSync,   // observable pair (left, right), equal (peer, alarm)
+  kLeft,   // left copy fires an unobservable transition alone
+  kRight,  // right copy fires an unobservable non-fault transition alone
+};
+
+struct VerifierState {
+  Marking left;
+  Marking right;
+  bool fault = false;  // left copy has fired a fault transition
+};
+
+struct VerifierEdge {
+  uint32_t from = 0;
+  uint32_t to = 0;
+  VerifierMove move = VerifierMove::kSync;
+  TransitionId left = kInvalidId;   // set for kSync and kLeft
+  TransitionId right = kInvalidId;  // set for kSync and kRight
+  /// The peer of the firing transition(s); for kSync both sides share it
+  /// by construction. This is the per-peer placement unit for the
+  /// distributed Datalog encoding.
+  PeerIndex peer = 0;
+
+  /// True iff the edge extends the left (fault-tracking) copy's run —
+  /// the progress requirement of the ambiguous-cycle condition.
+  bool AdvancesFaultyCopy() const { return move != VerifierMove::kRight; }
+};
+
+/// One step of a witness trace: the edge's transition pair.
+struct VerifierStep {
+  VerifierMove move = VerifierMove::kSync;
+  TransitionId left = kInvalidId;
+  TransitionId right = kInvalidId;
+};
+
+/// A non-diagnosability witness: an ambiguous lasso. `prefix` leads from
+/// the initial twin state to `anchor`; `cycle` returns to `anchor` and
+/// advances the faulty copy at least once. Pumping `cycle` produces the
+/// ambiguous pair of runs: left = faulty, right = fault-free, identical
+/// per-peer observable alarm projections.
+struct AmbiguousWitness {
+  uint32_t anchor = 0;
+  std::vector<VerifierStep> prefix;
+  std::vector<VerifierStep> cycle;
+};
+
+/// The explicit twin-plant graph. States are discovered by BFS from
+/// (M0, M0, false), so ids — and the Datalog constants "v<id>" derived
+/// from them — are deterministic for a given net.
+class VerifierNet {
+ public:
+  static StatusOr<VerifierNet> Build(const PetriNet& net,
+                                     const VerifierOptions& options = {});
+
+  const PetriNet& net() const { return *net_; }
+  size_t num_states() const { return states_.size(); }
+  const VerifierState& state(uint32_t s) const { return states_[s]; }
+  uint32_t initial_state() const { return 0; }
+  bool ambiguous(uint32_t s) const { return states_[s].fault; }
+  const std::vector<VerifierEdge>& edges() const { return edges_; }
+  /// Indices into edges() of the edges leaving `s`.
+  const std::vector<uint32_t>& OutEdges(uint32_t s) const {
+    return out_edges_[s];
+  }
+
+  /// Datalog constant naming a verifier state ("v12").
+  static std::string StateName(uint32_t s) { return "v" + std::to_string(s); }
+  /// Parses a StateName back, or kInvalidId.
+  uint32_t FindState(const std::string& name) const;
+
+  /// Extracts an ambiguous lasso anchored at `anchor`: a fault-advancing
+  /// edge out of `anchor` followed by a path back to `anchor` through
+  /// ambiguous states, plus a shortest path from the initial state to
+  /// `anchor`. Fails if `anchor` admits no such cycle — i.e. callers pass
+  /// anchors the cycle search (Datalog or oracle) certified.
+  StatusOr<AmbiguousWitness> ExtractWitness(uint32_t anchor) const;
+
+  /// Human-readable summary.
+  std::string ToString() const;
+
+ private:
+  const PetriNet* net_ = nullptr;
+  std::vector<VerifierState> states_;
+  std::vector<VerifierEdge> edges_;
+  std::vector<std::vector<uint32_t>> out_edges_;
+};
+
+/// Independently re-validates a witness against the net semantics: both
+/// projected firing sequences replay through the token game, the left run
+/// fires a fault and the right run never does, the per-peer observable
+/// alarm projections coincide, the cycle returns to the anchor's marking
+/// pair, and the cycle advances the left copy. Returns OK iff the witness
+/// denotes a genuine ambiguous pair of runs.
+Status ReplayWitness(const PetriNet& net, const AmbiguousWitness& witness);
+
+}  // namespace dqsq::petri
+
+#endif  // DQSQ_PETRI_VERIFIER_H_

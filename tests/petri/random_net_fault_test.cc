@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "petri/net.h"
+#include "petri/random_net.h"
+
+namespace dqsq::petri {
+namespace {
+
+RandomNetOptions BaseOptions() {
+  RandomNetOptions options;
+  options.num_peers = 3;
+  options.places_per_peer = 4;
+  options.transitions_per_peer = 5;
+  options.hidden_probability = 0.3;
+  return options;
+}
+
+TEST(RandomNetFaultTest, DefaultFaultFractionDrawsNothingFromTheStream) {
+  // fault_fraction = 0.0 must short-circuit before touching the RNG, so
+  // the generated net — and the RNG state afterwards — are exactly those
+  // of revisions that predate the knob.
+  RandomNetOptions plain = BaseOptions();
+  RandomNetOptions zeroed = BaseOptions();
+  zeroed.fault_fraction = 0.0;
+
+  Rng rng_a(42);
+  Rng rng_b(42);
+  PetriNet a = MakeRandomNet(plain, rng_a);
+  PetriNet b = MakeRandomNet(zeroed, rng_b);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_TRUE(a.FaultTransitions().empty());
+  // The post-generation RNG states agree too: the next draw matches.
+  EXPECT_EQ(rng_a.Next(), rng_b.Next());
+}
+
+TEST(RandomNetFaultTest, FaultTransitionsAreUnobservable) {
+  RandomNetOptions options = BaseOptions();
+  options.fault_fraction = 0.5;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    PetriNet net = MakeRandomNet(options, rng);
+    for (TransitionId t : net.FaultTransitions()) {
+      EXPECT_FALSE(net.transition(t).observable)
+          << "seed " << seed << " transition " << net.transition(t).name;
+      EXPECT_TRUE(net.transition(t).fault);
+    }
+  }
+}
+
+TEST(RandomNetFaultTest, FullFractionMarksEveryTransition) {
+  RandomNetOptions options = BaseOptions();
+  options.fault_fraction = 1.0;
+  Rng rng(7);
+  PetriNet net = MakeRandomNet(options, rng);
+  EXPECT_EQ(net.FaultTransitions().size(), net.num_transitions());
+  for (TransitionId t = 0; t < net.num_transitions(); ++t) {
+    EXPECT_FALSE(net.transition(t).observable);
+  }
+}
+
+TEST(RandomNetFaultTest, ModerateFractionYieldsSomeFaultsAcrossSeeds) {
+  RandomNetOptions options = BaseOptions();
+  options.fault_fraction = 0.25;
+  size_t nets_with_faults = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    PetriNet net = MakeRandomNet(options, rng);
+    if (!net.FaultTransitions().empty()) ++nets_with_faults;
+  }
+  EXPECT_GT(nets_with_faults, 10u);
+}
+
+TEST(RandomNetFaultTest, GenerationIsDeterministicPerSeed) {
+  RandomNetOptions options = BaseOptions();
+  options.fault_fraction = 0.25;
+  Rng rng_a(9);
+  Rng rng_b(9);
+  PetriNet a = MakeRandomNet(options, rng_a);
+  PetriNet b = MakeRandomNet(options, rng_b);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace dqsq::petri

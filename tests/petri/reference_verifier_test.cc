@@ -1,0 +1,119 @@
+#include "petri/reference_verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "petri/net.h"
+#include "petri/verifier.h"
+
+namespace dqsq::petri {
+namespace {
+
+/// Same named regression fixture as verifier_test.cc: undiagnosable
+/// because the faulty loop a1 and the fault-free loop a2 ring the same
+/// alarm forever.
+PetriNet MakeUndiagnosableLoopNet() {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("peer0");
+  PlaceId p0 = net.AddPlace("p0", p);
+  PlaceId p1 = net.AddPlace("p1", p);
+  PlaceId p2 = net.AddPlace("p2", p);
+  net.AddTransition("f", p, "silent", {p0}, {p1}, /*observable=*/false,
+                    /*fault=*/true);
+  net.AddTransition("u", p, "silent", {p0}, {p2}, /*observable=*/false);
+  net.AddTransition("a1", p, "a", {p1}, {p1}, /*observable=*/true);
+  net.AddTransition("a2", p, "a", {p2}, {p2}, /*observable=*/true);
+  net.SetInitialMarking({p0});
+  return net;
+}
+
+TEST(ReferenceVerifierTest, FixtureIsUndiagnosableWithReplayableWitness) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  auto result = ReferenceDiagnosability(net);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->diagnosable);
+  EXPECT_GT(result->states, 0u);
+  EXPECT_GT(result->edges, 0u);
+  ASSERT_TRUE(result->witness.has_value());
+  Status replay = ReplayWitness(net, *result->witness);
+  EXPECT_TRUE(replay.ok()) << replay.ToString();
+}
+
+TEST(ReferenceVerifierTest, DistinctAlarmsRestoreDiagnosability) {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("peer0");
+  PlaceId p0 = net.AddPlace("p0", p);
+  PlaceId p1 = net.AddPlace("p1", p);
+  PlaceId p2 = net.AddPlace("p2", p);
+  net.AddTransition("f", p, "silent", {p0}, {p1}, /*observable=*/false,
+                    /*fault=*/true);
+  net.AddTransition("u", p, "silent", {p0}, {p2}, /*observable=*/false);
+  net.AddTransition("b1", p, "b", {p1}, {p1}, /*observable=*/true);
+  net.AddTransition("a2", p, "a", {p2}, {p2}, /*observable=*/true);
+  net.SetInitialMarking({p0});
+  auto result = ReferenceDiagnosability(net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->diagnosable);
+  EXPECT_FALSE(result->witness.has_value());
+}
+
+TEST(ReferenceVerifierTest, ZeroFaultNetIsTriviallyDiagnosable) {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("peer0");
+  PlaceId p0 = net.AddPlace("p0", p);
+  PlaceId p1 = net.AddPlace("p1", p);
+  net.AddTransition("go", p, "a", {p0}, {p1}, /*observable=*/true);
+  net.AddTransition("back", p, "b", {p1}, {p0}, /*observable=*/true);
+  net.SetInitialMarking({p0});
+  auto result = ReferenceDiagnosability(net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->diagnosable);
+}
+
+TEST(ReferenceVerifierTest, AllUnobservableFaultLoopIsUndiagnosable) {
+  // Every transition silent: the faulty run can diverge forever without a
+  // single observation, and the (empty) projections agree trivially.
+  PetriNet net;
+  PeerIndex p = net.AddPeer("peer0");
+  PlaceId p0 = net.AddPlace("p0", p);
+  PlaceId p1 = net.AddPlace("p1", p);
+  net.AddTransition("f", p, "silent", {p0}, {p1}, /*observable=*/false,
+                    /*fault=*/true);
+  net.AddTransition("loop", p, "silent", {p1}, {p1}, /*observable=*/false);
+  net.SetInitialMarking({p0});
+  auto result = ReferenceDiagnosability(net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->diagnosable);
+  ASSERT_TRUE(result->witness.has_value());
+  Status replay = ReplayWitness(net, *result->witness);
+  EXPECT_TRUE(replay.ok()) << replay.ToString();
+}
+
+TEST(ReferenceVerifierTest, DeadlockingFaultDoesNotViolateDiagnosability) {
+  // The fault leads to a dead place: no infinite ambiguous run exists, so
+  // under the liveness convention the net counts as diagnosable.
+  PetriNet net;
+  PeerIndex p = net.AddPeer("peer0");
+  PlaceId p0 = net.AddPlace("p0", p);
+  PlaceId p1 = net.AddPlace("p1", p);
+  PlaceId p2 = net.AddPlace("p2", p);
+  net.AddTransition("f", p, "silent", {p0}, {p1}, /*observable=*/false,
+                    /*fault=*/true);
+  net.AddTransition("u", p, "silent", {p0}, {p2}, /*observable=*/false);
+  net.AddTransition("a2", p, "a", {p2}, {p2}, /*observable=*/true);
+  net.SetInitialMarking({p0});
+  auto result = ReferenceDiagnosability(net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->diagnosable);
+}
+
+TEST(ReferenceVerifierTest, StateBudgetIsEnforced) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  ReferenceVerifierOptions options;
+  options.max_states = 2;
+  auto result = ReferenceDiagnosability(net, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace dqsq::petri

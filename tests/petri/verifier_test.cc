@@ -1,0 +1,215 @@
+#include "petri/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "petri/net.h"
+
+namespace dqsq::petri {
+namespace {
+
+/// The named regression fixture: a 3-place single-peer net that is NOT
+/// diagnosable. From p0 the left copy can fire the unobservable fault f
+/// into p1 and loop the observable a1 ("a") forever; the fault-free right
+/// copy mirrors every "a" by firing u into p2 and looping a2 ("a") — the
+/// two runs are observationally identical, so the fault is never certain.
+PetriNet MakeUndiagnosableLoopNet() {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("peer0");
+  PlaceId p0 = net.AddPlace("p0", p);
+  PlaceId p1 = net.AddPlace("p1", p);
+  PlaceId p2 = net.AddPlace("p2", p);
+  net.AddTransition("f", p, "silent", {p0}, {p1}, /*observable=*/false,
+                    /*fault=*/true);
+  net.AddTransition("u", p, "silent", {p0}, {p2}, /*observable=*/false);
+  net.AddTransition("a1", p, "a", {p1}, {p1}, /*observable=*/true);
+  net.AddTransition("a2", p, "a", {p2}, {p2}, /*observable=*/true);
+  net.SetInitialMarking({p0});
+  return net;
+}
+
+/// The diagnosable twin of the fixture: the post-fault loop rings "b"
+/// while the fault-free loop rings "a", so one observation separates the
+/// faulty run from every fault-free run.
+PetriNet MakeDiagnosableLoopNet() {
+  PetriNet net;
+  PeerIndex p = net.AddPeer("peer0");
+  PlaceId p0 = net.AddPlace("p0", p);
+  PlaceId p1 = net.AddPlace("p1", p);
+  PlaceId p2 = net.AddPlace("p2", p);
+  net.AddTransition("f", p, "silent", {p0}, {p1}, /*observable=*/false,
+                    /*fault=*/true);
+  net.AddTransition("u", p, "silent", {p0}, {p2}, /*observable=*/false);
+  net.AddTransition("b1", p, "b", {p1}, {p1}, /*observable=*/true);
+  net.AddTransition("a2", p, "a", {p2}, {p2}, /*observable=*/true);
+  net.SetInitialMarking({p0});
+  return net;
+}
+
+TEST(VerifierNetTest, BuildsTwinGraphOfUndiagnosableFixture) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  auto verifier = VerifierNet::Build(net);
+  ASSERT_TRUE(verifier.ok()) << verifier.status().ToString();
+
+  // Initial state: both copies at p0, no fault.
+  const VerifierState& init = verifier->state(verifier->initial_state());
+  EXPECT_EQ(init.left, net.initial_marking());
+  EXPECT_EQ(init.right, net.initial_marking());
+  EXPECT_FALSE(init.fault);
+  EXPECT_FALSE(verifier->ambiguous(verifier->initial_state()));
+
+  // The fault is reachable, so ambiguous states exist; and the observable
+  // loop gives the ambiguous region a sync edge.
+  bool any_ambiguous = false;
+  bool ambiguous_sync_edge = false;
+  for (uint32_t s = 0; s < verifier->num_states(); ++s) {
+    if (verifier->ambiguous(s)) any_ambiguous = true;
+  }
+  for (const VerifierEdge& e : verifier->edges()) {
+    if (verifier->ambiguous(e.from) && e.move == VerifierMove::kSync) {
+      ambiguous_sync_edge = true;
+      EXPECT_TRUE(e.AdvancesFaultyCopy());
+    }
+  }
+  EXPECT_TRUE(any_ambiguous);
+  EXPECT_TRUE(ambiguous_sync_edge);
+}
+
+TEST(VerifierNetTest, FaultFlagIsMonotoneAlongEdges) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  auto verifier = VerifierNet::Build(net);
+  ASSERT_TRUE(verifier.ok());
+  for (const VerifierEdge& e : verifier->edges()) {
+    if (verifier->ambiguous(e.from)) {
+      EXPECT_TRUE(verifier->ambiguous(e.to))
+          << "fault flag dropped on edge " << e.from << " -> " << e.to;
+    }
+  }
+}
+
+TEST(VerifierNetTest, RightSoloNeverFiresFaults) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  auto verifier = VerifierNet::Build(net);
+  ASSERT_TRUE(verifier.ok());
+  for (const VerifierEdge& e : verifier->edges()) {
+    if (e.move == VerifierMove::kRight) {
+      EXPECT_FALSE(net.transition(e.right).fault);
+      EXPECT_FALSE(net.transition(e.right).observable);
+    }
+    if (e.move == VerifierMove::kSync) {
+      const Transition& tl = net.transition(e.left);
+      const Transition& tr = net.transition(e.right);
+      EXPECT_FALSE(tr.fault);
+      EXPECT_EQ(tl.peer, tr.peer);
+      EXPECT_EQ(tl.alarm, tr.alarm);
+      EXPECT_EQ(e.peer, tl.peer);
+    }
+  }
+}
+
+TEST(VerifierNetTest, ExtractedWitnessReplays) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  auto verifier = VerifierNet::Build(net);
+  ASSERT_TRUE(verifier.ok());
+  // Find an ambiguous state with a fault-advancing cycle by trying every
+  // ambiguous anchor.
+  bool found = false;
+  for (uint32_t s = 0; s < verifier->num_states() && !found; ++s) {
+    if (!verifier->ambiguous(s)) continue;
+    auto witness = verifier->ExtractWitness(s);
+    if (!witness.ok()) continue;
+    found = true;
+    EXPECT_EQ(witness->anchor, s);
+    EXPECT_FALSE(witness->cycle.empty());
+    Status replay = ReplayWitness(net, *witness);
+    EXPECT_TRUE(replay.ok()) << replay.ToString();
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VerifierNetTest, DiagnosableTwinHasNoAmbiguousCycle) {
+  PetriNet net = MakeDiagnosableLoopNet();
+  auto verifier = VerifierNet::Build(net);
+  ASSERT_TRUE(verifier.ok());
+  for (uint32_t s = 0; s < verifier->num_states(); ++s) {
+    if (!verifier->ambiguous(s)) continue;
+    auto witness = verifier->ExtractWitness(s);
+    EXPECT_FALSE(witness.ok())
+        << "unexpected ambiguous cycle at " << VerifierNet::StateName(s);
+  }
+}
+
+TEST(VerifierNetTest, ZeroFaultNetHasNoAmbiguousStates) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  PetriNet clean;
+  PeerIndex p = clean.AddPeer("peer0");
+  PlaceId p0 = clean.AddPlace("p0", p);
+  PlaceId p1 = clean.AddPlace("p1", p);
+  clean.AddTransition("t", p, "a", {p0}, {p1}, /*observable=*/true);
+  clean.AddTransition("back", p, "b", {p1}, {p0}, /*observable=*/true);
+  clean.SetInitialMarking({p0});
+  auto verifier = VerifierNet::Build(clean);
+  ASSERT_TRUE(verifier.ok());
+  EXPECT_GT(verifier->num_states(), 1u);
+  for (uint32_t s = 0; s < verifier->num_states(); ++s) {
+    EXPECT_FALSE(verifier->ambiguous(s));
+  }
+  (void)net;
+}
+
+TEST(VerifierNetTest, StateNamesRoundTrip) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  auto verifier = VerifierNet::Build(net);
+  ASSERT_TRUE(verifier.ok());
+  for (uint32_t s = 0; s < verifier->num_states(); ++s) {
+    EXPECT_EQ(verifier->FindState(VerifierNet::StateName(s)), s);
+  }
+  EXPECT_EQ(verifier->FindState("v999999"), kInvalidId);
+  EXPECT_EQ(verifier->FindState("x0"), kInvalidId);
+  EXPECT_EQ(verifier->FindState("v"), kInvalidId);
+  EXPECT_EQ(verifier->FindState("v1x"), kInvalidId);
+}
+
+TEST(VerifierNetTest, StateBudgetIsEnforced) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  VerifierOptions options;
+  options.max_states = 2;
+  auto verifier = VerifierNet::Build(net, options);
+  ASSERT_FALSE(verifier.ok());
+  EXPECT_EQ(verifier.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VerifierNetTest, ToStringSummarizes) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  auto verifier = VerifierNet::Build(net);
+  ASSERT_TRUE(verifier.ok());
+  std::string summary = verifier->ToString();
+  EXPECT_NE(summary.find("VerifierNet{states="), std::string::npos);
+  EXPECT_NE(summary.find("ambiguous="), std::string::npos);
+}
+
+TEST(ReplayWitnessTest, RejectsCorruptedWitnesses) {
+  PetriNet net = MakeUndiagnosableLoopNet();
+  auto verifier = VerifierNet::Build(net);
+  ASSERT_TRUE(verifier.ok());
+  AmbiguousWitness good;
+  for (uint32_t s = 0; s < verifier->num_states(); ++s) {
+    if (!verifier->ambiguous(s)) continue;
+    auto witness = verifier->ExtractWitness(s);
+    if (witness.ok()) {
+      good = *witness;
+      break;
+    }
+  }
+  ASSERT_FALSE(good.cycle.empty());
+
+  AmbiguousWitness empty_cycle = good;
+  empty_cycle.cycle.clear();
+  EXPECT_FALSE(ReplayWitness(net, empty_cycle).ok());
+
+  AmbiguousWitness no_fault = good;
+  no_fault.prefix.clear();  // anchor no longer ambiguous
+  EXPECT_FALSE(ReplayWitness(net, no_fault).ok());
+}
+
+}  // namespace
+}  // namespace dqsq::petri
